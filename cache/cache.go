@@ -1,0 +1,333 @@
+// Package cache is the public API of this repository: a concurrency-safe,
+// string-keyed, byte-valued cache library built on the S3-FIFO eviction
+// algorithm from "FIFO queues are all you need for cache eviction"
+// (SOSP '23), with every baseline algorithm from the paper's evaluation
+// available behind the same interface.
+//
+// The cache is sharded: each shard pairs an eviction policy instance with
+// its own value store and mutex, so Get/Set scale across cores while each
+// policy sees a consistent view. S3-FIFO's hit path only bumps a 2-bit
+// frequency counter, which keeps the critical section tiny.
+//
+// Basic usage:
+//
+//	c, err := cache.New(cache.Config{MaxBytes: 64 << 20})
+//	if err != nil { ... }
+//	c.Set("user:42", profileBytes)
+//	if v, ok := c.Get("user:42"); ok { ... }
+//
+// Choose a different eviction algorithm ("lru", "arc", "tinylfu", ...)
+// with Config.Policy; cache.Policies lists the options.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"s3fifo/internal/core"
+	"s3fifo/internal/policy"
+	"s3fifo/internal/sketch"
+)
+
+// Config configures a Cache.
+type Config struct {
+	// MaxBytes is the total capacity across all shards, counting
+	// len(key) + len(value) per entry. Required.
+	MaxBytes uint64
+	// Policy selects the eviction algorithm. Default "s3fifo".
+	// See Policies for the full list.
+	Policy string
+	// Shards is the number of independent shards (default 16; clamped to
+	// a power of two). More shards mean less lock contention and slightly
+	// less accurate global eviction order.
+	Shards int
+	// SmallQueueRatio overrides S3-FIFO's small-queue fraction (default
+	// 0.10). Ignored for other policies.
+	SmallQueueRatio float64
+	// OnEvict, when set, is called after an entry leaves the cache due to
+	// eviction (not Delete). It runs while the shard lock is held: keep
+	// it short and do not call back into the cache.
+	OnEvict func(key string, value []byte)
+}
+
+// Stats are cumulative counters since the cache was created.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Sets      uint64
+	Evictions uint64
+	Expired   uint64
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any lookups.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a sharded, thread-safe cache. Create one with New.
+type Cache struct {
+	shards []*shard
+	mask   uint64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	engine  policy.Policy
+	entries map[string]*entry // live values
+	ids     map[uint64]string // engine ID -> key
+	stats   Stats
+	onEvict func(string, []byte)
+}
+
+type entry struct {
+	id        uint64
+	value     []byte
+	size      uint32
+	expiresAt time.Time // zero = no TTL
+}
+
+// Policies returns the available eviction algorithm names, sorted.
+func Policies() []string {
+	names := policy.Names()
+	for n := range core.Factories() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New creates a Cache. It returns an error for a zero capacity or an
+// unknown policy name.
+func New(cfg Config) (*Cache, error) {
+	if cfg.MaxBytes == 0 {
+		return nil, fmt.Errorf("cache: MaxBytes must be positive")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "s3fifo"
+	}
+	nShards := cfg.Shards
+	if nShards <= 0 {
+		nShards = 16
+	}
+	// Round down to a power of two for cheap masking.
+	for nShards&(nShards-1) != 0 {
+		nShards &= nShards - 1
+	}
+	perShard := cfg.MaxBytes / uint64(nShards)
+	if perShard == 0 {
+		nShards = 1
+		perShard = cfg.MaxBytes
+	}
+
+	mk := func() (policy.Policy, error) {
+		if cfg.Policy == "s3fifo" && cfg.SmallQueueRatio > 0 {
+			return core.NewS3FIFO(perShard, core.Options{SmallRatio: cfg.SmallQueueRatio}), nil
+		}
+		if f, ok := core.Factories()[cfg.Policy]; ok {
+			return f(perShard), nil
+		}
+		return policy.New(cfg.Policy, perShard)
+	}
+
+	c := &Cache{mask: uint64(nShards - 1)}
+	for i := 0; i < nShards; i++ {
+		engine, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		s := &shard{
+			engine:  engine,
+			entries: make(map[string]*entry),
+			ids:     make(map[uint64]string),
+			onEvict: cfg.OnEvict,
+		}
+		engine.SetObserver(s.evicted)
+		c.shards = append(c.shards, s)
+	}
+	return c, nil
+}
+
+// evicted is the policy's eviction observer; it runs under the shard lock
+// (policies only evict inside Request/Delete calls, which we serialize).
+func (s *shard) evicted(ev policy.Eviction) {
+	key, ok := s.ids[ev.Key]
+	if !ok {
+		return
+	}
+	e := s.entries[key]
+	delete(s.ids, ev.Key)
+	delete(s.entries, key)
+	s.stats.Evictions++
+	if s.onEvict != nil && e != nil {
+		s.onEvict(key, e.value)
+	}
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	return c.shards[hashString(key)&c.mask]
+}
+
+// hashString is FNV-1a folded through the repository's 64-bit mixer.
+func hashString(key string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return sketch.Hash(h, 0xCAFE)
+}
+
+// Get returns the value stored for key. A lookup counts as a cache hit or
+// miss in Stats and feeds the eviction policy's access tracking.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	if e.expired() {
+		s.expireLocked(key, e)
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	s.engine.Request(e.id, e.size) // resident: pure hit, no insertion
+	return e.value, true
+}
+
+// Set stores value under key, evicting other entries as needed. It
+// returns false when the entry cannot be admitted (larger than a shard).
+// Setting an existing key replaces its value; if the size changed, the
+// entry is re-admitted as a fresh insertion.
+func (c *Cache) Set(key string, value []byte) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Sets++
+	size := entrySize(key, value)
+
+	if e, ok := s.entries[key]; ok {
+		if e.size == size {
+			e.value = value
+			e.expiresAt = time.Time{} // a plain Set clears any TTL
+			return true
+		}
+		s.engine.Delete(e.id)
+		delete(s.ids, e.id)
+		delete(s.entries, key)
+	}
+
+	// IDs are derived from the key so a re-inserted key presents the same
+	// ID to the policy — this is what lets S3-FIFO's ghost queue recognize
+	// recently evicted objects. A 64-bit collision between two live keys
+	// is vanishingly unlikely; if one occurs, the older entry is dropped.
+	id := hashString(key)
+	if prev, ok := s.ids[id]; ok && prev != key {
+		s.engine.Delete(id)
+		delete(s.entries, prev)
+		delete(s.ids, id)
+	}
+	s.entries[key] = &entry{id: id, value: value, size: size}
+	s.ids[id] = key
+	s.engine.Request(id, size) // miss-insert; may evict others
+	if !s.engine.Contains(id) {
+		// Rejected (oversized for the shard): undo bookkeeping.
+		delete(s.ids, id)
+		delete(s.entries, key)
+		return false
+	}
+	return true
+}
+
+// Delete removes key if present. It does not fire OnEvict.
+func (c *Cache) Delete(key string) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.engine.Delete(e.id)
+		delete(s.ids, e.id)
+		delete(s.entries, key)
+	}
+}
+
+// Contains reports whether key is cached, without recording a hit.
+func (c *Cache) Contains(key string) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if ok && e.expired() {
+		s.expireLocked(key, e)
+		return false
+	}
+	return ok
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Used returns the cached bytes (keys + values).
+func (c *Cache) Used() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.engine.Used()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the configured capacity in bytes (summed over shards;
+// rounding may make it slightly below Config.MaxBytes).
+func (c *Cache) Capacity() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		n += s.engine.Capacity()
+	}
+	return n
+}
+
+// Stats returns cumulative counters aggregated over shards.
+func (c *Cache) Stats() Stats {
+	var out Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		out.Hits += s.stats.Hits
+		out.Misses += s.stats.Misses
+		out.Sets += s.stats.Sets
+		out.Evictions += s.stats.Evictions
+		out.Expired += s.stats.Expired
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// entrySize is the charged size of an entry.
+func entrySize(key string, value []byte) uint32 {
+	n := len(key) + len(value)
+	if n < 1 {
+		n = 1
+	}
+	if n > 1<<31 {
+		n = 1 << 31
+	}
+	return uint32(n)
+}

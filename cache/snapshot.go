@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Snapshot format: magic, then length-prefixed records
+// (key bytes, value bytes, TTL expiry in unix nanoseconds; 0 = none),
+// terminated by a zero key length. Eviction metadata (queue positions,
+// frequencies) is intentionally not persisted: a restored cache is warm
+// in data but cold in access history, which the eviction policy rebuilds
+// within one cache generation — the standard warm-restart trade-off.
+var snapshotMagic = [8]byte{'S', '3', 'S', 'N', 'A', 'P', '0', '1'}
+
+// Save writes a snapshot of the cache contents to w. Entries whose TTL
+// has already passed are skipped. Concurrent mutations during Save are
+// safe; the snapshot is per-shard consistent, not globally atomic.
+func (c *Cache) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	writeUint := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, e := range s.entries {
+			if e.expired() {
+				continue
+			}
+			var expiry int64
+			if !e.expiresAt.IsZero() {
+				expiry = e.expiresAt.UnixNano()
+			}
+			if err := writeUint(uint64(len(key))); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			if _, err := bw.WriteString(key); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			if err := writeUint(uint64(len(e.value))); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			if _, err := bw.Write(e.value); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			if err := writeUint(uint64(expiry)); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
+	}
+	if err := writeUint(0); err != nil { // terminator
+		return err
+	}
+	return bw.Flush()
+}
+
+// maxSnapshotRecord guards Load against corrupt length fields.
+const maxSnapshotRecord = 64 << 20
+
+// Load restores a snapshot written by Save into a freshly configured
+// cache. Entries that no longer fit (smaller MaxBytes than at save time)
+// are admitted-then-evicted by the policy as usual; already-expired TTL
+// entries are dropped.
+func Load(r io.Reader, cfg Config) (*Cache, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("cache: snapshot header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, errors.New("cache: not a snapshot (bad magic)")
+	}
+	var scratch [8]byte
+	readUint := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+	for {
+		keyLen, err := readUint()
+		if err != nil {
+			return nil, fmt.Errorf("cache: snapshot truncated: %w", err)
+		}
+		if keyLen == 0 {
+			return c, nil // terminator
+		}
+		if keyLen > maxSnapshotRecord {
+			return nil, errors.New("cache: snapshot key length corrupt")
+		}
+		key := make([]byte, keyLen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			return nil, fmt.Errorf("cache: snapshot truncated: %w", err)
+		}
+		valLen, err := readUint()
+		if err != nil {
+			return nil, fmt.Errorf("cache: snapshot truncated: %w", err)
+		}
+		if valLen > maxSnapshotRecord {
+			return nil, errors.New("cache: snapshot value length corrupt")
+		}
+		value := make([]byte, valLen)
+		if _, err := io.ReadFull(br, value); err != nil {
+			return nil, fmt.Errorf("cache: snapshot truncated: %w", err)
+		}
+		expiry, err := readUint()
+		if err != nil {
+			return nil, fmt.Errorf("cache: snapshot truncated: %w", err)
+		}
+		if expiry != 0 {
+			at := time.Unix(0, int64(expiry))
+			if !now().After(at) {
+				if c.Set(string(key), value) {
+					// Reapply the absolute expiry.
+					c.SetWithTTL(string(key), value, at.Sub(now()))
+				}
+			}
+			continue
+		}
+		c.Set(string(key), value)
+	}
+}

@@ -1,0 +1,145 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := mustNew(t, Config{MaxBytes: 1 << 20})
+	want := map[string]string{}
+	for i := 0; i < 500; i++ {
+		k, v := fmt.Sprintf("key-%03d", i), fmt.Sprintf("value-%d", i*7)
+		c.Set(k, []byte(v))
+		want[k] = v
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, Config{MaxBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != len(want) {
+		t.Fatalf("restored %d entries, want %d", restored.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok := restored.Get(k)
+		if !ok || string(got) != v {
+			t.Fatalf("restored[%q] = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+}
+
+func TestSnapshotEmptyCache(t *testing.T) {
+	c := mustNew(t, Config{MaxBytes: 1024})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, Config{MaxBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 0 {
+		t.Errorf("restored %d entries from empty snapshot", restored.Len())
+	}
+}
+
+func TestSnapshotSkipsExpired(t *testing.T) {
+	clock := withFakeClock(t)
+	c := mustNew(t, Config{MaxBytes: 1 << 16})
+	c.Set("keep", []byte("k"))
+	c.SetWithTTL("drop", []byte("d"), time.Minute)
+	c.SetWithTTL("live", []byte("l"), time.Hour)
+	*clock = clock.Add(10 * time.Minute)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, Config{MaxBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Contains("drop") {
+		t.Error("expired entry restored")
+	}
+	if !restored.Contains("keep") || !restored.Contains("live") {
+		t.Error("live entries missing after restore")
+	}
+	// The restored TTL entry still expires at (about) the original time.
+	*clock = clock.Add(2 * time.Hour)
+	if restored.Contains("live") {
+		t.Error("restored TTL entry never expires")
+	}
+}
+
+func TestSnapshotIntoSmallerCache(t *testing.T) {
+	c := mustNew(t, Config{MaxBytes: 1 << 20, Shards: 1})
+	for i := 0; i < 1000; i++ {
+		c.Set(fmt.Sprintf("key-%04d", i), make([]byte, 64))
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	small, err := Load(&buf, Config{MaxBytes: 8 << 10, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Used() > small.Capacity() {
+		t.Errorf("restored cache over capacity: %d > %d", small.Used(), small.Capacity())
+	}
+	if small.Len() == 0 {
+		t.Error("nothing survived the downsized restore")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTSNAP!restofdata"),
+	}
+	for _, data := range cases {
+		if _, err := Load(bytes.NewReader(data), Config{MaxBytes: 1024}); err == nil {
+			t.Errorf("Load(%q) succeeded", data)
+		}
+	}
+	// Valid header, corrupt length field.
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic[:])
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := Load(&buf, Config{MaxBytes: 1024}); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("corrupt length: %v", err)
+	}
+	// Valid header, truncated record.
+	buf.Reset()
+	buf.Write(snapshotMagic[:])
+	buf.Write([]byte{4, 0, 0, 0, 0, 0, 0, 0}) // key length 4, no key bytes
+	if _, err := Load(&buf, Config{MaxBytes: 1024}); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated record: %v", err)
+	}
+}
+
+func TestSnapshotBinaryValues(t *testing.T) {
+	c := mustNew(t, Config{MaxBytes: 1 << 16})
+	value := []byte{0, 1, 2, 0xff, '\r', '\n', 'S', '3'}
+	c.Set("bin", value)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, Config{MaxBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := restored.Get("bin")
+	if !ok || !bytes.Equal(got, value) {
+		t.Errorf("binary value corrupted: %v", got)
+	}
+}

@@ -1,0 +1,40 @@
+package cache
+
+import "time"
+
+// now is indirected for tests.
+var now = time.Now
+
+// SetWithTTL stores value under key with a time-to-live. After ttl
+// elapses the entry no longer serves hits; its space is reclaimed lazily
+// on the next Get/Contains of the key or when the eviction policy removes
+// it, whichever comes first (the Segcache-style lazy expiration model —
+// proactive scanning is unnecessary because expired objects stop
+// receiving hits and therefore age out of any of this repository's
+// policies). A non-positive ttl stores the entry without expiry.
+func (c *Cache) SetWithTTL(key string, value []byte, ttl time.Duration) bool {
+	ok := c.Set(key, value)
+	if !ok || ttl <= 0 {
+		return ok
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, present := s.entries[key]; present {
+		e.expiresAt = now().Add(ttl)
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// expired reports whether e has a TTL that has passed.
+func (e *entry) expired() bool {
+	return !e.expiresAt.IsZero() && now().After(e.expiresAt)
+}
+
+// expireLocked removes an expired entry; the caller holds the shard lock.
+func (s *shard) expireLocked(key string, e *entry) {
+	s.engine.Delete(e.id)
+	delete(s.ids, e.id)
+	delete(s.entries, key)
+	s.stats.Expired++
+}

@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+// withFakeClock installs a controllable clock for the duration of a test.
+func withFakeClock(t *testing.T) *time.Time {
+	t.Helper()
+	current := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	old := now
+	now = func() time.Time { return current }
+	t.Cleanup(func() { now = old })
+	return &current
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clock := withFakeClock(t)
+	c := mustNew(t, Config{MaxBytes: 1 << 16})
+	if !c.SetWithTTL("k", []byte("v"), time.Minute) {
+		t.Fatal("SetWithTTL rejected")
+	}
+	if v, ok := c.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("fresh TTL entry: %q, %v", v, ok)
+	}
+	*clock = clock.Add(2 * time.Minute)
+	if _, ok := c.Get("k"); ok {
+		t.Error("expired entry served")
+	}
+	if c.Contains("k") {
+		t.Error("expired entry reported by Contains")
+	}
+	st := c.Stats()
+	if st.Expired == 0 {
+		t.Errorf("Expired counter = %d", st.Expired)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after expiry", c.Len())
+	}
+}
+
+func TestTTLBoundary(t *testing.T) {
+	clock := withFakeClock(t)
+	c := mustNew(t, Config{MaxBytes: 1 << 16})
+	c.SetWithTTL("k", []byte("v"), time.Minute)
+	*clock = clock.Add(time.Minute) // exactly at expiry: still valid (After is strict)
+	if _, ok := c.Get("k"); !ok {
+		t.Error("entry at exact TTL boundary should still serve")
+	}
+	*clock = clock.Add(time.Nanosecond)
+	if _, ok := c.Get("k"); ok {
+		t.Error("entry just past TTL served")
+	}
+}
+
+func TestTTLZeroMeansNoExpiry(t *testing.T) {
+	clock := withFakeClock(t)
+	c := mustNew(t, Config{MaxBytes: 1 << 16})
+	c.SetWithTTL("forever", []byte("v"), 0)
+	*clock = clock.Add(1000 * time.Hour)
+	if _, ok := c.Get("forever"); !ok {
+		t.Error("ttl<=0 must mean no expiry")
+	}
+}
+
+func TestPlainSetClearsTTL(t *testing.T) {
+	clock := withFakeClock(t)
+	c := mustNew(t, Config{MaxBytes: 1 << 16})
+	c.SetWithTTL("k", []byte("v"), time.Minute)
+	c.Set("k", []byte("w")) // same size: refresh in place, drop TTL
+	*clock = clock.Add(time.Hour)
+	if v, ok := c.Get("k"); !ok || string(v) != "w" {
+		t.Errorf("plain Set should clear TTL: %q, %v", v, ok)
+	}
+}
+
+func TestTTLRefreshOnReSet(t *testing.T) {
+	clock := withFakeClock(t)
+	c := mustNew(t, Config{MaxBytes: 1 << 16})
+	c.SetWithTTL("k", []byte("v"), time.Minute)
+	*clock = clock.Add(50 * time.Second)
+	c.SetWithTTL("k", []byte("v"), time.Minute) // refresh
+	*clock = clock.Add(50 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Error("refreshed TTL entry expired early")
+	}
+}
+
+func TestTTLOnRejectedSet(t *testing.T) {
+	c := mustNew(t, Config{MaxBytes: 256, Shards: 1})
+	if c.SetWithTTL("big", make([]byte, 10_000), time.Minute) {
+		t.Error("oversized SetWithTTL should be rejected")
+	}
+}

@@ -1,0 +1,206 @@
+// Package client is the Go client for the s3cached cache server
+// (cmd/s3cached, internal/server). It speaks the server's compact text
+// protocol over a single TCP connection; the client is safe for
+// concurrent use (requests are serialized on the connection, like a
+// classic memcached text-protocol client).
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a connection to an s3cached server. Create one with Dial.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to an s3cached server at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 16<<10),
+		w:    bufio.NewWriterSize(conn, 16<<10),
+	}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "quit\r\n")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+func (c *Client) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// errFor converts an ERROR response line into an error.
+func errFor(line string) error {
+	return fmt.Errorf("client: server error: %s", strings.TrimPrefix(line, "ERROR "))
+}
+
+// Get fetches key. The second result is false on a cache miss.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.w, "get %s\r\n", key); err != nil {
+		return nil, false, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case line == "END":
+		return nil, false, nil
+	case strings.HasPrefix(line, "ERROR"):
+		return nil, false, errFor(line)
+	case strings.HasPrefix(line, "VALUE "):
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, false, fmt.Errorf("client: malformed VALUE line %q", line)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return nil, false, fmt.Errorf("client: bad length in %q", line)
+		}
+		value := make([]byte, n)
+		if _, err := io.ReadFull(c.r, value); err != nil {
+			return nil, false, err
+		}
+		// Consume the value terminator and the END line.
+		if _, err := c.readLine(); err != nil {
+			return nil, false, err
+		}
+		end, err := c.readLine()
+		if err != nil {
+			return nil, false, err
+		}
+		if end != "END" {
+			return nil, false, fmt.Errorf("client: expected END, got %q", end)
+		}
+		return value, true, nil
+	default:
+		return nil, false, fmt.Errorf("client: unexpected response %q", line)
+	}
+}
+
+// Set stores value under key. It returns false when the server declined
+// to store the entry (e.g. larger than the cache).
+func (c *Client) Set(key string, value []byte) (bool, error) {
+	return c.set(key, value, 0)
+}
+
+// SetWithTTL stores value with a time-to-live (rounded up to seconds).
+func (c *Client) SetWithTTL(key string, value []byte, ttl time.Duration) (bool, error) {
+	return c.set(key, value, ttl)
+}
+
+func (c *Client) set(key string, value []byte, ttl time.Duration) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ttl > 0 {
+		secs := int((ttl + time.Second - 1) / time.Second)
+		fmt.Fprintf(c.w, "set %s %d %d\r\n", key, len(value), secs)
+	} else {
+		fmt.Fprintf(c.w, "set %s %d\r\n", key, len(value))
+	}
+	c.w.Write(value)
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case line == "STORED":
+		return true, nil
+	case line == "NOT_STORED":
+		return false, nil
+	case strings.HasPrefix(line, "ERROR"):
+		return false, errFor(line)
+	default:
+		return false, fmt.Errorf("client: unexpected response %q", line)
+	}
+}
+
+// Delete removes key. The result reports whether the key existed.
+func (c *Client) Delete(key string) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "delete %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case line == "DELETED":
+		return true, nil
+	case line == "NOT_FOUND":
+		return false, nil
+	case strings.HasPrefix(line, "ERROR"):
+		return false, errFor(line)
+	default:
+		return false, fmt.Errorf("client: unexpected response %q", line)
+	}
+}
+
+// Stats fetches the server's counters as a name -> value map.
+func (c *Client) Stats() (map[string]uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "stats\r\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := map[string]uint64{}
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		if strings.HasPrefix(line, "ERROR") {
+			return nil, errFor(line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "STAT" {
+			return nil, fmt.Errorf("client: malformed stat line %q", line)
+		}
+		v, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad stat value in %q", line)
+		}
+		out[fields[1]] = v
+	}
+}

@@ -1,0 +1,73 @@
+// Command mrc prints miss-ratio curves for one or more eviction
+// algorithms over a synthetic profile or trace file, optionally using
+// SHARDS-style spatial sampling for downsized simulation (§6.2.3).
+//
+//	mrc -profile twitter -algos lru,s3fifo,arc
+//	mrc -profile msr -algos s3fifo -sample 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"s3fifo/internal/sampling"
+	"s3fifo/internal/sim"
+	"s3fifo/internal/trace"
+	"s3fifo/internal/workload"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file (.bin, .csv, .oracleGeneral, optionally .gz); overrides -profile")
+	profile := flag.String("profile", "twitter", "dataset profile")
+	scale := flag.Float64("scale", 0.1, "profile scale factor")
+	algoFlag := flag.String("algos", "lru,s3fifo", "comma-separated algorithms")
+	sample := flag.Float64("sample", 0, "spatial sampling rate (0 = full trace)")
+	flag.Parse()
+
+	tr, err := load(*tracePath, *profile, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mrc:", err)
+		os.Exit(1)
+	}
+	tr = sim.Unitize(tr)
+
+	fracs := []float64{0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.40}
+	fmt.Printf("miss-ratio curves over %d requests, %d objects", len(tr), tr.UniqueObjects())
+	if *sample > 0 {
+		fmt.Printf(" (spatial sample rate %g)", *sample)
+	}
+	fmt.Println()
+	fmt.Printf("%-12s", "cache size")
+	for _, f := range fracs {
+		fmt.Printf(" %6.3f", f)
+	}
+	fmt.Println()
+	for _, algo := range strings.Split(*algoFlag, ",") {
+		algo = strings.TrimSpace(algo)
+		pts, err := sampling.MRC(tr, sampling.Config{
+			Algorithm: algo, SizeFracs: fracs, SampleRate: *sample, Seed: 1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrc:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s", algo)
+		for _, p := range pts {
+			fmt.Printf(" %6.3f", p.MissRatio)
+		}
+		fmt.Println()
+	}
+}
+
+func load(path, profile string, scale float64) (trace.Trace, error) {
+	if path == "" {
+		p, ok := workload.ProfileByName(profile)
+		if !ok {
+			return nil, fmt.Errorf("unknown profile %q", profile)
+		}
+		return p.Generate(0, scale), nil
+	}
+	return trace.LoadFile(path)
+}

@@ -1,0 +1,122 @@
+// Command onehit reproduces the paper's one-hit-wonder analyses:
+//
+//	onehit -mode fig1            Fig. 1  — toy example prefix table
+//	onehit -mode fig2            Fig. 2  — ratio vs sequence length (Zipf + production-like)
+//	onehit -mode fig3            Fig. 3  — ratio distribution across the corpus
+//	onehit -mode table1          Table 1 — per-dataset statistics vs paper targets
+//
+// -scale shrinks the synthetic traces for quick runs (default 0.2); the
+// shapes are stable across scales.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s3fifo/internal/analysis"
+	"s3fifo/internal/stats"
+	"s3fifo/internal/trace"
+	"s3fifo/internal/workload"
+)
+
+func main() {
+	mode := flag.String("mode", "table1", "fig1 | fig2 | fig3 | table1")
+	scale := flag.Float64("scale", 0.2, "trace scale factor")
+	samples := flag.Int("samples", 10, "Monte Carlo samples per point")
+	flag.Parse()
+
+	switch *mode {
+	case "fig1":
+		fig1()
+	case "fig2":
+		fig2(*scale, *samples)
+	case "fig3":
+		fig3(*scale, *samples)
+	case "table1":
+		table1(*scale, *samples)
+	default:
+		fmt.Fprintf(os.Stderr, "onehit: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// fig1 prints the toy example of Fig. 1.
+func fig1() {
+	ids := []uint64{1, 2, 1, 3, 2, 1, 4, 1, 2, 3, 2, 1, 5, 3, 1, 2, 4}
+	tr := make(trace.Trace, len(ids))
+	for i, id := range ids {
+		tr[i] = trace.Request{ID: id, Size: 1}
+	}
+	fmt.Println("Fig. 1 — one-hit-wonder ratio of prefixes of the toy trace")
+	fmt.Println("prefix  objects  one-hit-wonders  ratio")
+	for _, end := range []int{4, 7, len(tr)} {
+		prefix := tr[:end]
+		objs := prefix.UniqueObjects()
+		ratio := analysis.OneHitWonderRatio(prefix)
+		fmt.Printf("1..%-4d %-8d %-16.0f %.0f%%\n", end, objs, ratio*float64(objs), ratio*100)
+	}
+}
+
+// fig2 prints the one-hit-wonder ratio vs sequence length curves.
+func fig2(scale float64, samples int) {
+	fractions := []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 0.5, 0.75, 1.0}
+	fmt.Println("Fig. 2 — one-hit-wonder ratio vs sequence length (fraction of objects)")
+	fmt.Printf("%-18s", "trace")
+	for _, f := range fractions {
+		fmt.Printf(" %6.3f", f)
+	}
+	fmt.Println()
+
+	row := func(name string, tr trace.Trace) {
+		pts := analysis.Curve(tr, fractions, samples, 42)
+		fmt.Printf("%-18s", name)
+		for _, p := range pts {
+			fmt.Printf(" %6.3f", p.Ratio)
+		}
+		fmt.Println()
+	}
+	// Synthetic Zipf traces under the independent reference model.
+	for _, alpha := range []float64{0.6, 0.8, 1.0, 1.2} {
+		cfg := workload.Config{Objects: int(1e5 * scale * 5), Requests: int(1e6 * scale * 5), Alpha: alpha}
+		row(fmt.Sprintf("zipf a=%.1f", alpha), workload.Generate(cfg, 1))
+	}
+	// Production-profile traces (MSR block, Twitter KV).
+	for _, name := range []string{"msr", "twitter"} {
+		p, _ := workload.ProfileByName(name)
+		row(name, p.Generate(0, scale))
+	}
+}
+
+// fig3 prints the corpus-wide distribution of one-hit-wonder ratios.
+func fig3(scale float64, samples int) {
+	lengths := []float64{1.0, 0.5, 0.1, 0.01}
+	ratios := make(map[float64][]float64)
+	for _, spec := range workload.Corpus(scale) {
+		tr := spec.Materialize()
+		for _, l := range lengths {
+			ratios[l] = append(ratios[l], analysis.SubsequenceOneHitWonder(tr, l, samples, 7))
+		}
+	}
+	fmt.Println("Fig. 3 — one-hit-wonder ratio across the corpus")
+	fmt.Println("seq length   p10    p25    median mean   p75    p90")
+	for _, l := range lengths {
+		s := stats.Summarize(ratios[l])
+		fmt.Printf("%-12.2f %.3f  %.3f  %.3f  %.3f  %.3f  %.3f\n",
+			l, s.P10, s.P25, s.P50, s.Mean, s.P75, s.P90)
+	}
+}
+
+// table1 prints per-dataset statistics next to the paper's targets.
+func table1(scale float64, samples int) {
+	fmt.Println("Table 1 — dataset statistics (synthetic profiles vs paper targets)")
+	fmt.Printf("%-14s %-6s %9s %9s | %15s %15s %15s\n",
+		"dataset", "type", "requests", "objects", "ohw-full(tgt)", "ohw-10%(tgt)", "ohw-1%(tgt)")
+	for _, p := range workload.Profiles {
+		tr := p.Generate(0, scale)
+		st := analysis.Stats(tr, samples, 3)
+		fmt.Printf("%-14s %-6s %9d %9d |   %.2f (%.2f)    %.2f (%.2f)    %.2f (%.2f)\n",
+			p.Name, p.CacheType, st.Requests, st.Objects,
+			st.OneHitFull, p.Target[0], st.OneHit10, p.Target[1], st.OneHit1, p.Target[2])
+	}
+}

@@ -1,0 +1,65 @@
+// Command s3cached is a memcached-style cache server backed by the
+// S3-FIFO cache library.
+//
+//	s3cached -addr :11299 -max-bytes 268435456 -policy s3fifo
+//
+// With -http <addr> the server also exposes GET /stats as JSON for
+// monitoring. The wire protocol is documented in internal/server; the Go
+// client lives in s3fifo/client. Example session (via nc):
+//
+//	set greeting 5
+//	hello
+//	STORED
+//	get greeting
+//	VALUE greeting 5
+//	hello
+//	END
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"s3fifo/cache"
+	"s3fifo/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":11299", "listen address")
+	httpAddr := flag.String("http", "", "optional HTTP address serving /stats as JSON")
+	maxBytes := flag.Uint64("max-bytes", 256<<20, "cache capacity in bytes")
+	policy := flag.String("policy", "s3fifo", "eviction policy (see cache.Policies)")
+	shards := flag.Int("shards", 16, "cache shards")
+	flag.Parse()
+
+	c, err := cache.New(cache.Config{
+		MaxBytes: *maxBytes,
+		Policy:   *policy,
+		Shards:   *shards,
+	})
+	if err != nil {
+		log.Fatal("s3cached: ", err)
+	}
+	srv := server.New(c)
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			st := c.Stats()
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"hits": st.Hits, "misses": st.Misses, "sets": st.Sets,
+				"evictions": st.Evictions, "expired": st.Expired,
+				"hit_ratio": st.HitRatio(), "entries": c.Len(),
+				"bytes": c.Used(), "capacity": c.Capacity(),
+			})
+		})
+		go func() { log.Fatal(http.ListenAndServe(*httpAddr, mux)) }()
+		fmt.Printf("stats on http://%s/stats\n", *httpAddr)
+	}
+	fmt.Printf("s3cached listening on %s (%s, %d MiB, %d shards)\n",
+		*addr, *policy, *maxBytes>>20, *shards)
+	log.Fatal(srv.ListenAndServe(*addr))
+}

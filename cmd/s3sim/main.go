@@ -1,0 +1,76 @@
+// Command s3sim replays a cache trace through one or more eviction
+// algorithms and prints a miss-ratio table.
+//
+// The trace can come from a file (binary or CSV, see internal/trace) or
+// be generated on the fly from one of the 14 dataset profiles:
+//
+//	s3sim -trace /path/to/trace.bin -algos s3fifo,lru,arc -size 0.1
+//	s3sim -profile twitter -scale 0.1 -algos all -size 0.1
+//
+// -size is the cache size as a fraction of the trace footprint (objects
+// by default, bytes with -bytes). -algos all runs every algorithm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"s3fifo/internal/sim"
+	"s3fifo/internal/trace"
+	"s3fifo/internal/workload"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file (.bin, .csv, .oracleGeneral, optionally .gz); overrides -profile")
+	profile := flag.String("profile", "twitter", "dataset profile to generate (see cmd/onehit -mode table1)")
+	variant := flag.Int("variant", 0, "profile variant (tenant)")
+	scale := flag.Float64("scale", 0.1, "profile scale factor")
+	algoFlag := flag.String("algos", "fifo,lru,clock,arc,tinylfu,s3fifo", "comma-separated algorithms, or 'all'")
+	size := flag.Float64("size", 0.10, "cache size as a fraction of the trace footprint")
+	byteMode := flag.Bool("bytes", false, "size-aware simulation with byte miss ratios")
+	flag.Parse()
+
+	tr, err := loadTrace(*tracePath, *profile, *variant, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s3sim:", err)
+		os.Exit(1)
+	}
+	if !*byteMode {
+		tr = sim.Unitize(tr)
+	}
+
+	var algos []string
+	if *algoFlag == "all" {
+		algos = sim.Algorithms()
+	} else {
+		algos = strings.Split(*algoFlag, ",")
+	}
+
+	capacity := sim.CacheSize(tr, *size, *byteMode)
+	fmt.Printf("trace: %d requests, %d objects; cache %d (%.3g of footprint)\n",
+		len(tr), tr.UniqueObjects(), capacity, *size)
+	for _, name := range algos {
+		name = strings.TrimSpace(name)
+		p, err := sim.NewPolicy(name, capacity, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s3sim:", err)
+			os.Exit(1)
+		}
+		res := sim.Run(p, tr)
+		res.Algorithm = name
+		fmt.Println(res)
+	}
+}
+
+func loadTrace(path, profile string, variant int, scale float64) (trace.Trace, error) {
+	if path == "" {
+		p, ok := workload.ProfileByName(profile)
+		if !ok {
+			return nil, fmt.Errorf("unknown profile %q", profile)
+		}
+		return p.Generate(variant, scale), nil
+	}
+	return trace.LoadFile(path)
+}

@@ -1,0 +1,59 @@
+// Command throughput reproduces Fig. 8: closed-loop throughput scaling of
+// the concurrent caches (strict LRU, optimized LRU, TinyLFU, Segcache,
+// S3-FIFO) on a Zipf α=1.0 workload, at a large cache (low miss ratio)
+// and a small cache (high miss ratio).
+//
+//	throughput -objects 200000 -ops 2000000 -threads 1,2,4,8,16
+//
+// Thread counts above GOMAXPROCS measure oversubscription, not scaling;
+// the default sweep stops at the machine's core count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"s3fifo/internal/harness"
+)
+
+func main() {
+	objects := flag.Int("objects", 200_000, "distinct objects in the workload")
+	ops := flag.Int("ops", 2_000_000, "operations per measurement")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,16 capped at NumCPU)")
+	flag.Parse()
+
+	var threads []int
+	if *threadsFlag != "" {
+		for _, part := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "throughput: bad thread count %q\n", part)
+				os.Exit(2)
+			}
+			threads = append(threads, n)
+		}
+	}
+
+	for _, large := range []bool{true, false} {
+		label := "large cache (objects/10)"
+		if !large {
+			label = "small cache (objects/100)"
+		}
+		fmt.Printf("==== Fig. 8 — %s ====\n", label)
+		rows, err := harness.Fig8(harness.Fig8Config{
+			Objects: *objects, OpsPerThread: *ops, Threads: threads, LargeCache: large,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		fmt.Println("cache          threads  Mops/s   hit-ratio")
+		for _, r := range rows {
+			fmt.Printf("%-14s %7d  %7.2f  %.4f\n", r.Cache, r.Threads, r.Throughput(), r.HitRatio())
+		}
+		fmt.Println()
+	}
+}

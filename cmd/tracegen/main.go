@@ -1,0 +1,85 @@
+// Command tracegen generates synthetic cache traces to a file in the
+// repository's binary format (or CSV with -csv).
+//
+//	tracegen -profile msr -scale 0.5 -out msr.bin
+//	tracegen -objects 100000 -requests 1000000 -alpha 1.0 -out zipf.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s3fifo/internal/trace"
+	"s3fifo/internal/workload"
+)
+
+func main() {
+	profile := flag.String("profile", "", "dataset profile to generate (empty = custom Zipf)")
+	variant := flag.Int("variant", 0, "profile variant")
+	scale := flag.Float64("scale", 1.0, "profile scale factor")
+	objects := flag.Int("objects", 100_000, "custom: number of distinct objects")
+	requests := flag.Int("requests", 1_000_000, "custom: trace length")
+	alpha := flag.Float64("alpha", 1.0, "custom: Zipf skew")
+	seed := flag.Int64("seed", 1, "custom: random seed")
+	out := flag.String("out", "trace.bin", "output path")
+	csv := flag.Bool("csv", false, "write CSV instead of binary")
+	oracle := flag.Bool("oracle", false, "write libCacheSim oracleGeneral format")
+	flag.Parse()
+
+	var tr trace.Trace
+	if *profile != "" {
+		p, ok := workload.ProfileByName(*profile)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown profile %q\n", *profile)
+			os.Exit(1)
+		}
+		tr = p.Generate(*variant, *scale)
+	} else {
+		tr = workload.Generate(workload.Config{
+			Objects: *objects, Requests: *requests, Alpha: *alpha,
+		}, *seed)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	if *oracle {
+		w := trace.NewOracleWriter(f)
+		for _, r := range tr {
+			if err := w.Write(r); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+		}
+	} else if *csv {
+		w := trace.NewCSVWriter(f)
+		for _, r := range tr {
+			if err := w.Write(r); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	} else {
+		w := trace.NewBinaryWriter(f)
+		for _, r := range tr {
+			if err := w.Write(r); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %d requests (%d objects) to %s\n", len(tr), tr.UniqueObjects(), *out)
+}

@@ -1,0 +1,50 @@
+// Flashtier: a DRAM + flash tiered CDN cache where the admission policy
+// decides flash lifetime (§5.4, Fig. 9).
+//
+//	go run ./examples/flashtier
+//
+// The same CDN workload runs against four flash admission policies. Flash
+// endurance is consumed by writes, so the interesting trade-off is write
+// bytes vs miss ratio — the S3-FIFO small-queue filter improves both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"s3fifo/internal/flashsim"
+	"s3fifo/internal/workload"
+)
+
+func main() {
+	p, ok := workload.ProfileByName("wiki_cdn")
+	if !ok {
+		log.Fatal("wiki_cdn profile missing")
+	}
+	tr := p.Generate(0, 0.25)
+	total := uint64(float64(tr.FootprintBytes()) * 0.10)
+
+	fmt.Printf("CDN workload: %d requests, %.1f GB footprint; cache %.1f GB (DRAM+flash)\n\n",
+		len(tr), float64(tr.FootprintBytes())/1e9, float64(total)/1e9)
+	fmt.Println("policy (DRAM share)        miss ratio   flash writes (x unique bytes)")
+
+	show := func(policy string, dramFrac float64, label string) {
+		res, err := flashsim.Run(tr, flashsim.Config{
+			TotalBytes: total, DRAMFrac: dramFrac, Policy: policy, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %9.4f   %6.2fx\n", label, res.MissRatio(), res.NormalizedWrites())
+	}
+
+	show("fifo", 0, "no admission (FIFO)")
+	show("prob", 0.01, "probabilistic p=0.2 (1%)")
+	show("flashield", 0.10, "learned/Flashield (10%)")
+	show("s3fifo", 0.01, "S3-FIFO filter (1%)")
+	show("s3fifo", 0.10, "S3-FIFO filter (10%)")
+
+	fmt.Println("\nevery byte written to flash consumes endurance; the small-FIFO")
+	fmt.Println("filter admits only objects re-requested while in DRAM (or in the")
+	fmt.Println("ghost queue), cutting writes ~3x without a miss-ratio penalty.")
+}

@@ -1,0 +1,3 @@
+module s3fifo
+
+go 1.22

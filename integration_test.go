@@ -1,0 +1,135 @@
+package s3fifo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"s3fifo/cache"
+	"s3fifo/internal/analysis"
+	"s3fifo/internal/sim"
+	"s3fifo/internal/trace"
+	"s3fifo/internal/workload"
+)
+
+// TestTraceFileRoundTripSimulation exercises the full pipeline: generate
+// a profile trace, persist it to the binary format, read it back, and
+// verify the simulation results are identical to the in-memory trace.
+func TestTraceFileRoundTripSimulation(t *testing.T) {
+	p, ok := workload.ProfileByName("msr")
+	if !ok {
+		t.Fatal("msr profile missing")
+	}
+	tr := sim.Unitize(p.Generate(0, 0.02))
+
+	path := filepath.Join(t.TempDir(), "msr.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewBinaryWriter(f)
+	for _, r := range tr {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	loaded, err := trace.ReadAll(trace.NewBinaryReader(rf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(tr) {
+		t.Fatalf("loaded %d requests, want %d", len(loaded), len(tr))
+	}
+
+	capacity := sim.CacheSize(tr, 0.10, false)
+	for _, algo := range []string{"fifo", "s3fifo", "arc"} {
+		p1, _ := sim.NewPolicy(algo, capacity, tr)
+		p2, _ := sim.NewPolicy(algo, capacity, loaded)
+		r1, r2 := sim.Run(p1, tr), sim.Run(p2, loaded)
+		if r1.Misses != r2.Misses {
+			t.Errorf("%s: in-memory %d misses vs file %d", algo, r1.Misses, r2.Misses)
+		}
+	}
+}
+
+// TestPublicCacheTracksSimulator replays one corpus trace through the
+// public sharded cache (1 shard) and through the raw S3-FIFO engine; the
+// hit counts must be close (the facade adds key hashing and value
+// bookkeeping but must not change eviction behavior).
+func TestPublicCacheTracksSimulator(t *testing.T) {
+	p, _ := workload.ProfileByName("twitter")
+	tr := sim.Unitize(p.Generate(0, 0.02))
+	capacity := sim.CacheSize(tr, 0.10, false)
+
+	engine, _ := sim.NewPolicy("s3fifo", capacity, tr)
+	engineRes := sim.Run(engine, tr)
+
+	// The facade charges len(key)+len(value) per entry; use 7-byte keys
+	// and 1-byte values so one entry costs 8 bytes, and scale capacity to
+	// match the engine's object count.
+	c, err := cache.New(cache.Config{MaxBytes: capacity * 8, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits, gets uint64
+	key := func(id uint64) string {
+		const digits = "0123456789abcdef"
+		var b [7]byte
+		for i := range b {
+			b[i] = digits[(id>>(4*uint(i)))&0xf]
+		}
+		return string(b[:])
+	}
+	for _, r := range tr {
+		if r.Op == trace.OpDelete {
+			c.Delete(key(r.ID))
+			continue
+		}
+		gets++
+		if _, ok := c.Get(key(r.ID)); ok {
+			hits++
+		} else {
+			c.Set(key(r.ID), []byte{1})
+		}
+	}
+	facadeMiss := float64(gets-hits) / float64(gets)
+	engineMiss := engineRes.MissRatio()
+	if diff := facadeMiss - engineMiss; diff < -0.05 || diff > 0.05 {
+		t.Errorf("facade miss ratio %.4f deviates from engine %.4f", facadeMiss, engineMiss)
+	}
+}
+
+// TestCorpusMatchesTable1Targets verifies every dataset profile stays
+// within tolerance of the paper's Table 1 one-hit-wonder statistics — the
+// calibration contract the substitution in DESIGN.md §4 relies on.
+func TestCorpusMatchesTable1Targets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check is slow")
+	}
+	const tolerance = 0.15
+	for _, p := range workload.Profiles {
+		tr := p.Generate(0, 0.1)
+		st := analysis.Stats(tr, 6, 11)
+		measured := [3]float64{st.OneHitFull, st.OneHit10, st.OneHit1}
+		labels := [3]string{"full", "10%", "1%"}
+		for i := range measured {
+			diff := measured[i] - p.Target[i]
+			if diff < -tolerance || diff > tolerance {
+				t.Errorf("%s: one-hit-wonder %s = %.2f, target %.2f (|diff| > %.2f)",
+					p.Name, labels[i], measured[i], p.Target[i], tolerance)
+			}
+		}
+	}
+}

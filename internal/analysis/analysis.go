@@ -1,0 +1,152 @@
+// Package analysis implements the trace analyses of §3: one-hit-wonder
+// ratios of full traces and of sub-sequences (Figures 1-3, Table 1's last
+// columns), and supporting footprint statistics. The central observation —
+// that shorter request sequences exhibit much higher one-hit-wonder ratios
+// — is what motivates S3-FIFO's small probationary queue.
+package analysis
+
+import (
+	"math/rand"
+
+	"s3fifo/internal/trace"
+)
+
+// OneHitWonderRatio returns the fraction of distinct objects in tr that
+// are requested exactly once (Get requests only). It returns 0 for traces
+// without Get requests.
+func OneHitWonderRatio(tr trace.Trace) float64 {
+	counts := make(map[uint64]int, len(tr)/2+1)
+	for _, r := range tr {
+		if r.Op != trace.OpGet {
+			continue
+		}
+		counts[r.ID]++
+	}
+	if len(counts) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, c := range counts {
+		if c == 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(len(counts))
+}
+
+// windowRatio measures the one-hit-wonder ratio of the shortest window of
+// tr starting at start that contains wantObjects distinct objects. The
+// second result is false when the remainder of the trace has fewer
+// distinct objects than requested.
+func windowRatio(tr trace.Trace, start, wantObjects int) (float64, bool) {
+	counts := make(map[uint64]int, wantObjects)
+	for i := start; i < len(tr); i++ {
+		r := tr[i]
+		if r.Op != trace.OpGet {
+			continue
+		}
+		counts[r.ID]++
+		if len(counts) >= wantObjects {
+			// Window complete: i is the position where the target distinct
+			// count is reached (the paper's sequences "end with" reaching
+			// the object budget).
+			ones := 0
+			for _, c := range counts {
+				if c == 1 {
+					ones++
+				}
+			}
+			return float64(ones) / float64(len(counts)), true
+		}
+	}
+	return 0, false
+}
+
+// SubsequenceOneHitWonder estimates the expected one-hit-wonder ratio of a
+// random sub-sequence of tr containing objectFraction of the trace's
+// distinct objects, averaged over samples random starting points (the
+// Monte Carlo measurement behind Fig. 2 and Fig. 3).
+func SubsequenceOneHitWonder(tr trace.Trace, objectFraction float64, samples int, seed int64) float64 {
+	if samples < 1 {
+		samples = 1
+	}
+	total := tr.UniqueObjects()
+	if total == 0 {
+		return 0
+	}
+	want := int(float64(total) * objectFraction)
+	if want < 1 {
+		want = 1
+	}
+	if want >= total {
+		return OneHitWonderRatio(tr)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum float64
+	n := 0
+	for i := 0; i < samples; i++ {
+		start := rng.Intn(len(tr))
+		ratio, ok := windowRatio(tr, start, want)
+		if !ok {
+			// Window ran off the end; retry from the first half.
+			start = rng.Intn(len(tr)/2 + 1)
+			ratio, ok = windowRatio(tr, start, want)
+			if !ok {
+				continue
+			}
+		}
+		sum += ratio
+		n++
+	}
+	if n == 0 {
+		return OneHitWonderRatio(tr)
+	}
+	return sum / float64(n)
+}
+
+// CurvePoint is one point of the one-hit-wonder-vs-sequence-length curve.
+type CurvePoint struct {
+	// ObjectFraction is the sub-sequence length as a fraction of the
+	// trace's distinct objects.
+	ObjectFraction float64
+	// Ratio is the mean one-hit-wonder ratio at that length.
+	Ratio float64
+}
+
+// Curve computes the one-hit-wonder ratio at each of the given object
+// fractions (Fig. 2's X axis), using the given number of Monte Carlo
+// samples per point.
+func Curve(tr trace.Trace, fractions []float64, samples int, seed int64) []CurvePoint {
+	points := make([]CurvePoint, 0, len(fractions))
+	for i, f := range fractions {
+		points = append(points, CurvePoint{
+			ObjectFraction: f,
+			Ratio:          SubsequenceOneHitWonder(tr, f, samples, seed+int64(i)),
+		})
+	}
+	return points
+}
+
+// TraceStats summarizes a trace for Table 1.
+type TraceStats struct {
+	Requests     int
+	Objects      int
+	RequestBytes uint64
+	ObjectBytes  uint64
+	OneHitFull   float64
+	OneHit10     float64
+	OneHit1      float64
+}
+
+// Stats computes Table 1's per-trace columns.
+func Stats(tr trace.Trace, samples int, seed int64) TraceStats {
+	return TraceStats{
+		Requests:     len(tr),
+		Objects:      tr.UniqueObjects(),
+		RequestBytes: tr.TotalBytes(),
+		ObjectBytes:  tr.FootprintBytes(),
+		OneHitFull:   OneHitWonderRatio(tr),
+		OneHit10:     SubsequenceOneHitWonder(tr, 0.10, samples, seed),
+		OneHit1:      SubsequenceOneHitWonder(tr, 0.01, samples, seed+1),
+	}
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"s3fifo/internal/trace"
+	"s3fifo/internal/workload"
+)
+
+// figure1Trace is the toy example of Fig. 1: seventeen requests over five
+// objects A..E (1..5 here).
+func figure1Trace() trace.Trace {
+	ids := []uint64{1, 2, 1, 3, 2, 1, 4, 1, 2, 3, 2, 1, 5, 3, 1, 2, 4}
+	tr := make(trace.Trace, len(ids))
+	for i, id := range ids {
+		tr[i] = trace.Request{ID: id, Size: 1}
+	}
+	return tr
+}
+
+func TestFigure1FullTrace(t *testing.T) {
+	// One object (E=5) of five is accessed once: 20%.
+	if got := OneHitWonderRatio(figure1Trace()); math.Abs(got-0.20) > 1e-9 {
+		t.Errorf("full-trace one-hit-wonder ratio = %v, want 0.20", got)
+	}
+}
+
+func TestFigure1Prefixes(t *testing.T) {
+	tr := figure1Trace()
+	// Requests 1..7 (A B A C B A D): 4 objects, C and D once: 50%.
+	if got := OneHitWonderRatio(tr[:7]); math.Abs(got-0.50) > 1e-9 {
+		t.Errorf("prefix-7 ratio = %v, want 0.50", got)
+	}
+	// Requests 1..4 (A B A C): 3 objects, B and C once: 67%.
+	if got := OneHitWonderRatio(tr[:4]); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("prefix-4 ratio = %v, want 0.667", got)
+	}
+}
+
+func TestOneHitWonderIgnoresNonGets(t *testing.T) {
+	tr := trace.Trace{
+		{ID: 1, Op: trace.OpGet}, {ID: 1, Op: trace.OpDelete},
+		{ID: 2, Op: trace.OpGet}, {ID: 2, Op: trace.OpGet},
+	}
+	if got := OneHitWonderRatio(tr); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("ratio = %v, want 0.5 (delete must not count)", got)
+	}
+	if OneHitWonderRatio(nil) != 0 {
+		t.Error("empty trace should be 0")
+	}
+}
+
+// TestShorterSequencesHaveHigherRatios is the §3.1 observation itself.
+func TestShorterSequencesHaveHigherRatios(t *testing.T) {
+	tr := workload.Generate(workload.Config{Objects: 20000, Requests: 200000, Alpha: 1.0}, 5)
+	full := OneHitWonderRatio(tr)
+	at50 := SubsequenceOneHitWonder(tr, 0.50, 10, 1)
+	at10 := SubsequenceOneHitWonder(tr, 0.10, 10, 2)
+	at1 := SubsequenceOneHitWonder(tr, 0.01, 10, 3)
+	if !(full < at50 && at50 < at10 && at10 < at1) {
+		t.Errorf("ratios not monotonically increasing as sequences shorten: full=%.3f 50%%=%.3f 10%%=%.3f 1%%=%.3f",
+			full, at50, at10, at1)
+	}
+}
+
+// TestMoreSkewMeansFewerOneHitWonders mirrors Fig. 2's cross-curve
+// ordering at a fixed sequence length.
+func TestMoreSkewMeansFewerOneHitWonders(t *testing.T) {
+	at10 := func(alpha float64) float64 {
+		tr := workload.Generate(workload.Config{Objects: 20000, Requests: 200000, Alpha: alpha}, 7)
+		return SubsequenceOneHitWonder(tr, 0.10, 10, 11)
+	}
+	low, high := at10(0.6), at10(1.2)
+	if high >= low {
+		t.Errorf("skew 1.2 ratio %.3f should be below skew 0.6 ratio %.3f", high, low)
+	}
+}
+
+func TestSubsequenceDegenerateCases(t *testing.T) {
+	tr := figure1Trace()
+	// Fraction >= 1 equals the full-trace ratio.
+	if got, want := SubsequenceOneHitWonder(tr, 1.0, 5, 1), OneHitWonderRatio(tr); math.Abs(got-want) > 1e-9 {
+		t.Errorf("fraction 1.0 = %v, want full ratio %v", got, want)
+	}
+	if got := SubsequenceOneHitWonder(nil, 0.1, 5, 1); got != 0 {
+		t.Errorf("empty trace = %v", got)
+	}
+	// Samples < 1 clamps.
+	if got := SubsequenceOneHitWonder(tr, 0.5, 0, 1); got <= 0 {
+		t.Errorf("clamped samples ratio = %v", got)
+	}
+}
+
+func TestCurveMonotonicOnZipf(t *testing.T) {
+	tr := workload.Generate(workload.Config{Objects: 10000, Requests: 100000, Alpha: 0.8}, 9)
+	pts := Curve(tr, []float64{0.01, 0.1, 0.5, 1.0}, 8, 3)
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Ratio > pts[i-1].Ratio+0.05 {
+			t.Errorf("curve not (approximately) decreasing: %+v", pts)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := figure1Trace()
+	s := Stats(tr, 4, 1)
+	if s.Requests != 17 || s.Objects != 5 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.OneHitFull != 0.2 {
+		t.Errorf("OneHitFull = %v", s.OneHitFull)
+	}
+	if s.RequestBytes != 17 || s.ObjectBytes != 5 {
+		t.Errorf("bytes: %d/%d", s.RequestBytes, s.ObjectBytes)
+	}
+}
+
+func BenchmarkSubsequenceOneHitWonder(b *testing.B) {
+	tr := workload.Generate(workload.Config{Objects: 100000, Requests: 1000000, Alpha: 1.0}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SubsequenceOneHitWonder(tr, 0.10, 3, int64(i))
+	}
+}

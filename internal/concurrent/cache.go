@@ -1,0 +1,124 @@
+// Package concurrent contains the multi-threaded cache implementations
+// used for the scalability study (§5.3, Fig. 8) — the repository's
+// Cachelib-prototype stand-in. Five caches share one interface but differ
+// in their synchronization discipline:
+//
+//   - LRUStrict: one global mutex; every hit promotes under the lock.
+//   - LRUOptimized: Cachelib-style optimized LRU — sharded read path plus
+//     delayed, try-lock promotion on a single LRU list.
+//   - TinyLFU: optimized-LRU read path, but every hit also updates a
+//     count-min sketch behind its own lock.
+//   - Segcache: log-structured segments; hits are read-only plus an atomic
+//     frequency bump; eviction merges whole segments (rare, batched).
+//   - S3FIFO: the paper's design — hits perform at most one atomic
+//     frequency update and take no locks; only the miss path locks the
+//     FIFO queues.
+//
+// The harness in replay.go replays a trace closed-loop from N goroutines
+// and reports throughput, reproducing Fig. 8's scaling curves.
+package concurrent
+
+import "sync"
+
+// Cache is a concurrent cache. Values are opaque byte slices; the caches
+// store them by reference (the benchmark's working set is pre-generated).
+type Cache interface {
+	// Name returns the implementation name.
+	Name() string
+	// Get returns the cached value and whether it was present.
+	Get(key uint64) ([]byte, bool)
+	// Set inserts or replaces the value for key, evicting as needed.
+	Set(key uint64, value []byte)
+	// Len returns the number of cached objects.
+	Len() int
+	// Capacity returns the configured capacity in objects.
+	Capacity() int
+}
+
+// numShards for the sharded index. Power of two.
+const numShards = 64
+
+// shardFor picks the index shard for a key (mixed so sequential keys
+// spread).
+func shardFor(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	return key & (numShards - 1)
+}
+
+// shardedIndex is a hash index with per-shard RW locks: the read path of
+// every cache except LRUStrict. V is comparable so deletions can be
+// conditioned on entry identity (deleteIf), which keeps eviction scans
+// from removing a newer entry that reused the same key.
+type shardedIndex[V comparable] struct {
+	shards [numShards]struct {
+		sync.RWMutex
+		m map[uint64]V
+	}
+}
+
+func newShardedIndex[V comparable]() *shardedIndex[V] {
+	idx := &shardedIndex[V]{}
+	for i := range idx.shards {
+		idx.shards[i].m = make(map[uint64]V)
+	}
+	return idx
+}
+
+func (idx *shardedIndex[V]) get(key uint64) (V, bool) {
+	s := &idx.shards[shardFor(key)]
+	s.RLock()
+	v, ok := s.m[key]
+	s.RUnlock()
+	return v, ok
+}
+
+func (idx *shardedIndex[V]) put(key uint64, v V) {
+	s := &idx.shards[shardFor(key)]
+	s.Lock()
+	s.m[key] = v
+	s.Unlock()
+}
+
+func (idx *shardedIndex[V]) delete(key uint64) {
+	s := &idx.shards[shardFor(key)]
+	s.Lock()
+	delete(s.m, key)
+	s.Unlock()
+}
+
+// putIfAbsent stores v unless key is already mapped; it returns the
+// existing value and whether one was found.
+func (idx *shardedIndex[V]) putIfAbsent(key uint64, v V) (V, bool) {
+	s := &idx.shards[shardFor(key)]
+	s.Lock()
+	defer s.Unlock()
+	if old, ok := s.m[key]; ok {
+		return old, true
+	}
+	s.m[key] = v
+	var zero V
+	return zero, false
+}
+
+// deleteIf removes key only while it still maps to v.
+func (idx *shardedIndex[V]) deleteIf(key uint64, v V) {
+	s := &idx.shards[shardFor(key)]
+	s.Lock()
+	if cur, ok := s.m[key]; ok && cur == v {
+		delete(s.m, key)
+	}
+	s.Unlock()
+}
+
+func (idx *shardedIndex[V]) len() int {
+	n := 0
+	for i := range idx.shards {
+		s := &idx.shards[i]
+		s.RLock()
+		n += len(s.m)
+		s.RUnlock()
+	}
+	return n
+}

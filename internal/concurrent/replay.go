@@ -1,0 +1,136 @@
+package concurrent
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s3fifo/internal/workload"
+)
+
+// New constructs a concurrent cache by name.
+func New(name string, capacity int) (Cache, error) {
+	switch name {
+	case "lru-strict":
+		return NewLRUStrict(capacity), nil
+	case "lru-optimized":
+		return NewLRUOptimized(capacity), nil
+	case "tinylfu":
+		return NewTinyLFU(capacity), nil
+	case "segcache":
+		return NewSegcache(capacity), nil
+	case "s3fifo":
+		return NewS3FIFO(capacity), nil
+	default:
+		return nil, fmt.Errorf("concurrent: unknown cache %q", name)
+	}
+}
+
+// Names returns the available concurrent cache names, sorted.
+func Names() []string {
+	names := []string{"lru-strict", "lru-optimized", "tinylfu", "segcache", "s3fifo"}
+	sort.Strings(names)
+	return names
+}
+
+// ReplayResult reports one closed-loop replay measurement.
+type ReplayResult struct {
+	Cache   string
+	Threads int
+	Ops     uint64
+	Elapsed time.Duration
+	Hits    uint64
+}
+
+// Throughput returns million operations per second.
+func (r ReplayResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// HitRatio returns the measured hit ratio.
+func (r ReplayResult) HitRatio() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Ops)
+}
+
+// Workload is the prepared request stream for the throughput benchmark:
+// the §5.3 setup uses a synthetic Zipf (α=1.0) trace and pre-generated
+// values so the benchmark isolates cache operations.
+type Workload struct {
+	Keys  []uint64
+	Value []byte
+}
+
+// NewZipfWorkload builds a benchmark workload of n requests over `objects`
+// distinct keys with the given skew, and a shared payload of valueSize
+// bytes.
+func NewZipfWorkload(objects, n int, alpha float64, valueSize int, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	z := workload.NewZipf(rng, alpha, objects)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(z.Sample())
+	}
+	value := make([]byte, valueSize)
+	rng.Read(value)
+	return &Workload{Keys: keys, Value: value}
+}
+
+// Warm pre-populates the cache by replaying the workload once from one
+// goroutine (on-demand fill), so measurements start from a steady state.
+func Warm(c Cache, w *Workload) {
+	for _, k := range w.Keys {
+		if _, ok := c.Get(k); !ok {
+			c.Set(k, w.Value)
+		}
+	}
+}
+
+// Replay runs the closed-loop benchmark: `threads` goroutines each iterate
+// over the workload (at distinct offsets so they do not lockstep),
+// performing Get and filling misses with Set, until every goroutine has
+// executed opsPerThread operations. It returns aggregate throughput.
+func Replay(c Cache, w *Workload, threads, opsPerThread int) ReplayResult {
+	var hits atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			n := len(w.Keys)
+			localHits := uint64(0)
+			pos := offset % n
+			for i := 0; i < opsPerThread; i++ {
+				key := w.Keys[pos]
+				pos++
+				if pos == n {
+					pos = 0
+				}
+				if _, ok := c.Get(key); ok {
+					localHits++
+				} else {
+					c.Set(key, w.Value)
+				}
+			}
+			hits.Add(localHits)
+		}(t * len(w.Keys) / maxI(threads, 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return ReplayResult{
+		Cache:   c.Name(),
+		Threads: threads,
+		Ops:     uint64(threads) * uint64(opsPerThread),
+		Elapsed: elapsed,
+		Hits:    hits.Load(),
+	}
+}

@@ -1,0 +1,210 @@
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"s3fifo/internal/ghost"
+)
+
+// S3FIFO is the concurrent S3-FIFO prototype (§5.1.3, §5.3). The property
+// the paper leans on is that FIFO queues never reorder on reads: a cache
+// hit performs a sharded hash lookup plus at most one atomic increment of
+// the object's 2-bit frequency counter — no list manipulation and no
+// locks. Only the miss path (insertion + eviction) takes the queue mutex,
+// and at high hit ratios that path is rare, which is why throughput scales
+// with cores in Fig. 8.
+type S3FIFO struct {
+	capacity int
+	sTarget  int
+	index    *shardedIndex[*centry]
+
+	mu    sync.Mutex // guards the queues and the ghost (miss path only)
+	small fifoRing
+	main  fifoRing
+	ghost *ghost.Queue
+	live  atomic.Int64 // resident object count
+}
+
+type centry struct {
+	key   uint64
+	value atomic.Pointer[[]byte] // replaced atomically so lock-free readers never race
+	freq  atomic.Int32
+	dead  atomic.Bool // deleted or superseded; skipped at eviction scan
+}
+
+// fifoRing is a slice-backed FIFO of entries, guarded by S3FIFO.mu.
+type fifoRing struct {
+	buf  []*centry
+	head int
+}
+
+func (q *fifoRing) push(e *centry) { q.buf = append(q.buf, e) }
+
+func (q *fifoRing) pop() *centry {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	e := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	// Compact occasionally so memory stays bounded.
+	if q.head > 1024 && q.head*2 > len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return e
+}
+
+func (q *fifoRing) len() int { return len(q.buf) - q.head }
+
+const ccMaxFreq = 3
+
+// NewS3FIFO returns a concurrent S3-FIFO holding capacity objects; 10% of
+// the capacity forms the small probationary queue.
+func NewS3FIFO(capacity int) *S3FIFO {
+	sTarget := capacity / 10
+	if sTarget < 1 {
+		sTarget = 1
+	}
+	ge := capacity
+	if ge < 16 {
+		ge = 16
+	}
+	return &S3FIFO{
+		capacity: capacity,
+		sTarget:  sTarget,
+		index:    newShardedIndex[*centry](),
+		ghost:    ghost.New(ge),
+	}
+}
+
+// Name implements Cache.
+func (c *S3FIFO) Name() string { return "s3fifo" }
+
+// Get implements Cache: the lock-free hit path.
+func (c *S3FIFO) Get(key uint64) ([]byte, bool) {
+	e, ok := c.index.get(key)
+	if !ok || e.dead.Load() {
+		return nil, false
+	}
+	v := e.value.Load()
+	// Capped atomic increment: most requests for popular objects are
+	// already at the cap and perform no write at all (§4.3.1).
+	for {
+		f := e.freq.Load()
+		if f >= ccMaxFreq {
+			break
+		}
+		if e.freq.CompareAndSwap(f, f+1) {
+			break
+		}
+	}
+	return *v, true
+}
+
+// Set implements Cache: the miss path, serialized on the queue mutex.
+func (c *S3FIFO) Set(key uint64, value []byte) {
+	e := &centry{key: key}
+	e.value.Store(&value)
+	for {
+		old, loaded := c.index.putIfAbsent(key, e)
+		if !loaded {
+			break // we own the insertion
+		}
+		if !old.dead.Load() {
+			old.value.Store(&value) // already resident: replace in place
+			return
+		}
+		// A dead mapping is mid-eviction; clear it and retry.
+		c.index.deleteIf(key, old)
+	}
+	c.mu.Lock()
+	for int(c.live.Load()) >= c.capacity {
+		c.evictLocked()
+	}
+	if c.ghost.Contains(key) {
+		c.ghost.Remove(key)
+		c.main.push(e)
+	} else {
+		c.small.push(e)
+	}
+	c.live.Add(1)
+	c.mu.Unlock()
+}
+
+func (c *S3FIFO) evictLocked() {
+	if c.small.len() >= c.sTarget || c.main.len() == 0 {
+		c.evictSmallLocked()
+	} else {
+		c.evictMainLocked()
+	}
+}
+
+func (c *S3FIFO) evictSmallLocked() {
+	for {
+		e := c.small.pop()
+		if e == nil {
+			c.evictMainLocked()
+			return
+		}
+		if e.dead.Load() {
+			continue // deleted while queued; its slot is already free
+		}
+		if e.freq.Load() > 1 {
+			e.freq.Store(0)
+			c.main.push(e)
+			continue
+		}
+		e.dead.Store(true)
+		c.index.deleteIf(e.key, e)
+		c.ghost.Insert(e.key)
+		c.ghost.Resize(maxI(c.main.len(), 16))
+		c.live.Add(-1)
+		return
+	}
+}
+
+func (c *S3FIFO) evictMainLocked() {
+	for {
+		e := c.main.pop()
+		if e == nil {
+			return
+		}
+		if e.dead.Load() {
+			continue
+		}
+		if f := e.freq.Load(); f > 0 {
+			e.freq.Store(f - 1)
+			c.main.push(e)
+			continue
+		}
+		e.dead.Store(true)
+		c.index.deleteIf(e.key, e)
+		c.live.Add(-1)
+		return
+	}
+}
+
+// Delete removes key if present. The queue slot is tombstoned and lazily
+// reclaimed during eviction scans, which is how a ring-buffer deployment
+// behaves (§4.2).
+func (c *S3FIFO) Delete(key uint64) {
+	if e, ok := c.index.get(key); ok && !e.dead.Swap(true) {
+		c.index.deleteIf(key, e)
+		c.live.Add(-1)
+	}
+}
+
+// Len implements Cache.
+func (c *S3FIFO) Len() int { return int(c.live.Load()) }
+
+// Capacity implements Cache.
+func (c *S3FIFO) Capacity() int { return c.capacity }
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,21 @@
+package concurrent
+
+import (
+	"testing"
+
+	"s3fifo/internal/core"
+)
+
+// simulatorMisses replays keys through the single-threaded reference
+// S3-FIFO from internal/core.
+func simulatorMisses(t testing.TB, keys []uint64, capacity uint64) int {
+	t.Helper()
+	p := core.NewS3FIFO(capacity, core.Options{})
+	misses := 0
+	for _, k := range keys {
+		if !p.Request(k, 1) {
+			misses++
+		}
+	}
+	return misses
+}

@@ -1,0 +1,77 @@
+package concurrent
+
+import (
+	"sync"
+
+	"s3fifo/internal/sketch"
+)
+
+// TinyLFU wraps the optimized-LRU machinery with TinyLFU's admission
+// metadata: every cache hit must also record the access in the count-min
+// sketch, which lives behind its own mutex. §5.3 observes that these
+// per-hit sketch updates make TinyLFU slower than even optimized LRU, and
+// this implementation reproduces that cost structure. (The full W-TinyLFU
+// window/main split is in internal/policy; the concurrent variant models
+// the synchronization shape, which is what Fig. 8 measures.)
+type TinyLFU struct {
+	lru *LRUOptimized
+
+	sketchMu sync.Mutex
+	cm       *sketch.CountMin
+}
+
+// NewTinyLFU returns a concurrent TinyLFU cache holding capacity objects.
+func NewTinyLFU(capacity int) *TinyLFU {
+	return &TinyLFU{
+		lru: NewLRUOptimized(capacity),
+		cm:  sketch.NewCountMin(capacity),
+	}
+}
+
+// Name implements Cache.
+func (c *TinyLFU) Name() string { return "tinylfu" }
+
+// Get implements Cache: a hit pays for a locked sketch update on top of
+// the LRU read path.
+func (c *TinyLFU) Get(key uint64) ([]byte, bool) {
+	c.sketchMu.Lock()
+	c.cm.Add(key)
+	c.sketchMu.Unlock()
+	return c.lru.Get(key)
+}
+
+// Set implements Cache: admission compares the candidate's frequency to
+// the would-be victim's; a colder candidate is not admitted.
+func (c *TinyLFU) Set(key uint64, value []byte) {
+	c.sketchMu.Lock()
+	candFreq := c.cm.Estimate(key)
+	c.sketchMu.Unlock()
+	if c.lru.Len() >= c.lru.Capacity() {
+		victim := c.victimKey()
+		if ok := victim != 0; ok {
+			c.sketchMu.Lock()
+			victimFreq := c.cm.Estimate(victim)
+			c.sketchMu.Unlock()
+			if candFreq <= victimFreq {
+				return // admission denied
+			}
+		}
+	}
+	c.lru.Set(key, value)
+}
+
+// victimKey peeks the LRU tail without evicting.
+func (c *TinyLFU) victimKey() uint64 {
+	c.lru.listMu.Lock()
+	defer c.lru.listMu.Unlock()
+	if n := c.lru.queue.Back(); n != nil {
+		return n.Key
+	}
+	return 0
+}
+
+// Len implements Cache.
+func (c *TinyLFU) Len() int { return c.lru.Len() }
+
+// Capacity implements Cache.
+func (c *TinyLFU) Capacity() int { return c.lru.Capacity() }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"s3fifo/internal/ghost"
+)
+
+// S3FIFOD is S3-FIFO with dynamic queue sizes (§6.2.2). It maintains two
+// small shadow ghost queues tracking objects evicted from S and from M,
+// each sized to hold 5% of the cached objects (IDs only). Whenever the two
+// shadow queues have accumulated more than 100 hits combined and one side
+// has at least 2x the hits of the other, 0.1% of the cache space moves to
+// the side whose evicted objects are being re-requested more — balancing
+// the marginal hits on evicted objects.
+type S3FIFOD struct {
+	*S3FIFO
+	shadowS, shadowM *ghost.Queue
+	hitsS, hitsM     uint64
+
+	step     uint64 // bytes moved per adjustment (0.1% of capacity)
+	minSmall uint64
+	maxSmall uint64
+}
+
+// NewS3FIFOD returns the adaptive variant. The initial split matches
+// S3-FIFO's default (10% small queue).
+func NewS3FIFOD(capacity uint64, opts Options) *S3FIFOD {
+	inner := NewS3FIFO(capacity, opts)
+	inner.name = "s3fifo-d"
+	if opts.Name != "" {
+		inner.name = opts.Name
+	}
+	shadowEntries := int(capacity / 20) // 5% of cached objects
+	if shadowEntries < 16 {
+		shadowEntries = 16
+	}
+	if shadowEntries > 1<<19 {
+		shadowEntries = 1 << 19
+	}
+	step := capacity / 1000
+	if step < 1 {
+		step = 1
+	}
+	minSmall := capacity / 100
+	if minSmall < 1 {
+		minSmall = 1
+	}
+	maxSmall := capacity / 2
+	if maxSmall <= minSmall {
+		maxSmall = minSmall + 1
+	}
+	d := &S3FIFOD{
+		S3FIFO:   inner,
+		shadowS:  ghost.New(shadowEntries),
+		shadowM:  ghost.New(shadowEntries),
+		step:     step,
+		minSmall: minSmall,
+		maxSmall: maxSmall,
+	}
+	inner.onSEvict = func(key uint64) { d.shadowS.Insert(key) }
+	inner.onMEvict = func(key uint64) { d.shadowM.Insert(key) }
+	return d
+}
+
+// Request implements policy.Policy: on a miss it first consults the shadow
+// queues for regret signals, then defers to the inner S3-FIFO.
+func (d *S3FIFOD) Request(key uint64, size uint32) bool {
+	if !d.S3FIFO.Contains(key) {
+		if d.shadowS.Contains(key) {
+			d.hitsS++
+		}
+		if d.shadowM.Contains(key) {
+			d.hitsM++
+		}
+		d.maybeRebalance()
+	}
+	return d.S3FIFO.Request(key, size)
+}
+
+// maybeRebalance moves 0.1% of capacity toward the queue whose evictions
+// are regretted more, once enough signal has accumulated.
+func (d *S3FIFOD) maybeRebalance() {
+	if d.hitsS+d.hitsM < 100 {
+		return
+	}
+	switch {
+	case d.hitsS >= 2*d.hitsM:
+		// S's evictions get re-requested: S is too small.
+		d.sTarget = minU64(d.sTarget+d.step, d.maxSmall)
+	case d.hitsM >= 2*d.hitsS:
+		// M's evictions get re-requested: give M more space.
+		if d.sTarget > d.minSmall+d.step {
+			d.sTarget -= d.step
+		} else {
+			d.sTarget = d.minSmall
+		}
+	default:
+		// Balanced: decay old signal so the window stays recent.
+		if d.hitsS+d.hitsM > 400 {
+			d.hitsS /= 2
+			d.hitsM /= 2
+		}
+		return
+	}
+	d.hitsS, d.hitsM = 0, 0
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

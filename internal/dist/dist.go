@@ -1,0 +1,182 @@
+// Package dist is the in-process stand-in for the paper's distributed
+// fault-tolerant computation platform (§5.1.2): the evaluation harness
+// fans thousands of (trace × algorithm × cache size) simulations out to a
+// worker pool that survives worker crashes.
+//
+// Workers are goroutines supervised by the pool: a worker that dies
+// (panics, or is killed by the test fault injector) is restarted, and its
+// in-flight task is requeued and retried on another worker, up to a retry
+// budget. Each task's result is recorded exactly once — duplicate
+// completions from races between a presumed-dead worker and its
+// replacement are deduplicated by task ID. As the paper notes, the
+// platform affects only throughput, never simulation results; the tests
+// verify exactly that.
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Task is one unit of work.
+type Task struct {
+	// ID uniquely identifies the task; results are deduplicated by it.
+	ID string
+	// Run computes the task's value. It runs on a worker goroutine and
+	// may be executed more than once if a worker fails mid-flight.
+	Run func() (any, error)
+}
+
+// Result is the terminal outcome of one task.
+type Result struct {
+	ID       string
+	Value    any
+	Err      error // non-nil when the task exhausted its retries
+	Attempts int
+}
+
+// FaultInjector lets tests kill workers deterministically: returning true
+// crashes the worker currently executing the given task attempt.
+type FaultInjector func(workerID, attempt int, taskID string) bool
+
+// Options configure a Pool.
+type Options struct {
+	// Workers is the number of concurrent workers (default 4).
+	Workers int
+	// MaxAttempts bounds executions per task (default 3).
+	MaxAttempts int
+	// Inject simulates worker crashes (tests only).
+	Inject FaultInjector
+	// OnProgress, when set, is called after each task completes, with the
+	// number of completed tasks so far and the total.
+	OnProgress func(done, total int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 4
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 3
+	}
+	return o
+}
+
+type attempt struct {
+	task     Task
+	attempts int
+}
+
+// workerCrash is the panic value used by the fault injector.
+type workerCrash struct{ workerID int }
+
+func (w workerCrash) String() string { return fmt.Sprintf("worker %d crashed", w.workerID) }
+
+// Run executes all tasks and returns their results sorted by task ID
+// (deterministic merge). It blocks until every task has either completed
+// or exhausted its attempts.
+func Run(tasks []Task, opts Options) []Result {
+	opts = opts.withDefaults()
+
+	queue := make(chan attempt, len(tasks)+opts.Workers)
+	for _, t := range tasks {
+		queue <- attempt{task: t}
+	}
+
+	var mu sync.Mutex
+	results := make(map[string]Result, len(tasks))
+	remaining := len(tasks)
+	done := make(chan struct{})
+	if remaining == 0 {
+		close(done)
+	}
+
+	complete := func(r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := results[r.ID]; dup {
+			return // deduplicate: a retried task may race its first run
+		}
+		results[r.ID] = r
+		remaining--
+		if opts.OnProgress != nil {
+			opts.OnProgress(len(results), len(tasks))
+		}
+		if remaining == 0 {
+			close(done)
+		}
+	}
+
+	requeue := func(a attempt) {
+		if a.attempts >= opts.MaxAttempts {
+			complete(Result{
+				ID:       a.task.ID,
+				Err:      fmt.Errorf("dist: task %s failed after %d attempts", a.task.ID, a.attempts),
+				Attempts: a.attempts,
+			})
+			return
+		}
+		queue <- a
+	}
+
+	// runOne executes a single attempt, converting panics (including
+	// injected worker crashes) into a crashed=true outcome.
+	runOne := func(workerID int, a attempt) (value any, err error, crashed bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				crashed = true
+			}
+		}()
+		if opts.Inject != nil && opts.Inject(workerID, a.attempts, a.task.ID) {
+			panic(workerCrash{workerID})
+		}
+		value, err = a.task.Run()
+		return value, err, false
+	}
+
+	// Supervisor: spawn workers; respawn any that crash, requeueing the
+	// task they were holding.
+	var wg sync.WaitGroup
+	var spawn func(workerID int)
+	spawn = func(workerID int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case a := <-queue:
+					a.attempts++
+					value, err, crashed := runOne(workerID, a)
+					if crashed {
+						// The worker is considered dead: requeue and let
+						// the supervisor bring up a replacement.
+						requeue(a)
+						spawn(workerID)
+						return
+					}
+					if err != nil {
+						requeue(a)
+						continue
+					}
+					complete(Result{ID: a.task.ID, Value: value, Attempts: a.attempts})
+				}
+			}
+		}()
+	}
+	for w := 0; w < opts.Workers; w++ {
+		spawn(w)
+	}
+
+	<-done
+	wg.Wait()
+
+	out := make([]Result, 0, len(results))
+	for _, r := range results {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,181 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func mkTasks(n int, f func(i int) (any, error)) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{ID: fmt.Sprintf("task-%03d", i), Run: func() (any, error) { return f(i) }}
+	}
+	return tasks
+}
+
+func TestAllTasksComplete(t *testing.T) {
+	tasks := mkTasks(100, func(i int) (any, error) { return i * i, nil })
+	results := Run(tasks, Options{Workers: 8})
+	if len(results) != 100 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("task %s: %v", r.ID, r.Err)
+		}
+		if want := fmt.Sprintf("task-%03d", i); r.ID != want {
+			t.Fatalf("results not sorted: pos %d has %s", i, r.ID)
+		}
+		if r.Value.(int) != i*i {
+			t.Fatalf("task %s value = %v", r.ID, r.Value)
+		}
+	}
+}
+
+func TestEmptyTaskList(t *testing.T) {
+	if got := Run(nil, Options{}); len(got) != 0 {
+		t.Errorf("got %d results for empty input", len(got))
+	}
+}
+
+func TestTransientErrorsRetried(t *testing.T) {
+	tasks := mkTasks(20, func(i int) (any, error) { return i, nil })
+	// Every task fails on its first execution, succeeds on the second.
+	var attempts [20]int32
+	for i := range tasks {
+		i := i
+		tasks[i].Run = func() (any, error) {
+			if atomic.AddInt32(&attempts[i], 1) == 1 {
+				return nil, errors.New("transient")
+			}
+			return i, nil
+		}
+	}
+	results := Run(tasks, Options{Workers: 4, MaxAttempts: 3})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s not retried: %v", r.ID, r.Err)
+		}
+		if r.Attempts != 2 {
+			t.Errorf("%s attempts = %d, want 2", r.ID, r.Attempts)
+		}
+	}
+}
+
+func TestPermanentFailureReported(t *testing.T) {
+	tasks := mkTasks(5, func(i int) (any, error) {
+		if i == 3 {
+			return nil, errors.New("always fails")
+		}
+		return i, nil
+	})
+	results := Run(tasks, Options{Workers: 2, MaxAttempts: 2})
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			if !strings.Contains(r.Err.Error(), "after 2 attempts") {
+				t.Errorf("unexpected error: %v", r.Err)
+			}
+			if r.ID != "task-003" {
+				t.Errorf("wrong task failed: %s", r.ID)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d failures, want 1", failed)
+	}
+}
+
+func TestWorkerCrashesAreSurvived(t *testing.T) {
+	// Crash every worker's first attempt at every even task: tasks still
+	// complete via respawned workers.
+	var crashes int32
+	inject := func(workerID, attempt int, taskID string) bool {
+		var n int
+		fmt.Sscanf(taskID, "task-%d", &n)
+		if n%2 == 0 && attempt == 1 {
+			atomic.AddInt32(&crashes, 1)
+			return true
+		}
+		return false
+	}
+	tasks := mkTasks(40, func(i int) (any, error) { return i, nil })
+	results := Run(tasks, Options{Workers: 4, MaxAttempts: 5, Inject: inject})
+	if len(results) != 40 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s failed: %v", r.ID, r.Err)
+		}
+	}
+	if atomic.LoadInt32(&crashes) == 0 {
+		t.Fatal("fault injector never fired")
+	}
+}
+
+func TestPanickingTaskIsRetriedAndResultsUnaffected(t *testing.T) {
+	// The paper: the platform does not affect simulation accuracy. A task
+	// that panics once must produce the same value as a clean run.
+	var panicked [10]int32
+	tasks := mkTasks(10, func(i int) (any, error) { return nil, nil })
+	for i := range tasks {
+		i := i
+		tasks[i].Run = func() (any, error) {
+			if atomic.AddInt32(&panicked[i], 1) == 1 {
+				panic("simulated crash inside task")
+			}
+			return i * 7, nil
+		}
+	}
+	results := Run(tasks, Options{Workers: 3, MaxAttempts: 3})
+	for i, r := range results {
+		if r.Err != nil || r.Value.(int) != i*7 {
+			t.Fatalf("task %d: %+v", i, r)
+		}
+	}
+}
+
+func TestDeterministicResultsUnderConcurrency(t *testing.T) {
+	run := func(workers int) []Result {
+		tasks := mkTasks(64, func(i int) (any, error) { return i * 3, nil })
+		return Run(tasks, Options{Workers: workers})
+	}
+	a, b := run(1), run(16)
+	if len(a) != len(b) {
+		t.Fatal("result count differs")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Value != b[i].Value {
+			t.Fatalf("results differ at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var calls int32
+	var last int32
+	tasks := mkTasks(10, func(i int) (any, error) { return i, nil })
+	Run(tasks, Options{Workers: 2, OnProgress: func(done, total int) {
+		atomic.AddInt32(&calls, 1)
+		atomic.StoreInt32(&last, int32(done))
+		if total != 10 {
+			t.Errorf("total = %d", total)
+		}
+	}})
+	if atomic.LoadInt32(&calls) != 10 || atomic.LoadInt32(&last) != 10 {
+		t.Errorf("calls=%d last=%d", calls, last)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Workers != 4 || o.MaxAttempts != 3 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,149 @@
+// Package ghost implements the ghost FIFO queue of §4.2: a bucket-based
+// hash table of 4-byte object fingerprints plus logical insertion
+// timestamps. A ghost entry is "in the queue" when fewer than the queue's
+// capacity of insertions have happened since it was inserted; expired
+// entries are not removed eagerly — their slots are reclaimed on collision,
+// exactly as the paper describes.
+//
+// The table stores no object data, so a ghost queue tracking as many
+// entries as the main cache costs only a few bytes per object.
+package ghost
+
+import "s3fifo/internal/sketch"
+
+const slotsPerBucket = 4
+
+type slot struct {
+	fingerprint uint32
+	insertedAt  uint64 // logical time: count of insertions into the queue
+	used        bool
+}
+
+// Queue is a fixed-capacity ghost FIFO queue.
+type Queue struct {
+	buckets  [][slotsPerBucket]slot
+	mask     uint64
+	capacity uint64 // number of insertions an entry survives
+	clock    uint64 // total insertions so far
+	hits     uint64 // successful Contains lookups (for adaptive variants)
+}
+
+// New returns a ghost queue that remembers approximately the last capacity
+// insertions.
+func New(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	// Aim for ~2 slots of headroom per tracked entry so valid entries are
+	// rarely displaced by collisions before they expire.
+	nBuckets := 1
+	for nBuckets*slotsPerBucket < capacity*2 {
+		nBuckets *= 2
+	}
+	return &Queue{
+		buckets:  make([][slotsPerBucket]slot, nBuckets),
+		mask:     uint64(nBuckets - 1),
+		capacity: uint64(capacity),
+	}
+}
+
+// Capacity returns the number of insertions an entry survives.
+func (q *Queue) Capacity() int { return int(q.capacity) }
+
+// Resize changes the queue capacity. Shrinking implicitly expires the
+// oldest entries; growing lets future entries live longer (existing entries
+// keep their original timestamps).
+func (q *Queue) Resize(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q.capacity = uint64(capacity)
+}
+
+func (q *Queue) locate(key uint64) (bucket uint64, fp uint32) {
+	h := sketch.Hash(key, 0xD00D)
+	fp = uint32(h >> 32)
+	if fp == 0 {
+		fp = 1 // reserve 0 so a zero-value slot never matches
+	}
+	return h & q.mask, fp
+}
+
+func (q *Queue) live(s slot) bool {
+	return s.used && q.clock-s.insertedAt < q.capacity
+}
+
+// Insert records key as freshly evicted. Inserting an existing live entry
+// refreshes its timestamp rather than consuming another slot.
+func (q *Queue) Insert(key uint64) {
+	b, fp := q.locate(key)
+	q.clock++
+	bucket := &q.buckets[b]
+	// Refresh if present.
+	for i := range bucket {
+		if bucket[i].used && bucket[i].fingerprint == fp {
+			bucket[i].insertedAt = q.clock
+			return
+		}
+	}
+	// Prefer an unused or expired slot; otherwise displace the oldest
+	// (collision reclamation per §4.2).
+	victim := 0
+	for i := range bucket {
+		if !q.live(bucket[i]) {
+			victim = i
+			break
+		}
+		if bucket[i].insertedAt < bucket[victim].insertedAt {
+			victim = i
+		}
+	}
+	bucket[victim] = slot{fingerprint: fp, insertedAt: q.clock, used: true}
+}
+
+// Contains reports whether key is currently in the ghost queue.
+func (q *Queue) Contains(key uint64) bool {
+	b, fp := q.locate(key)
+	bucket := &q.buckets[b]
+	for i := range bucket {
+		if bucket[i].used && bucket[i].fingerprint == fp && q.live(bucket[i]) {
+			q.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// Remove drops key from the queue if present (used when an object is
+// re-admitted so later evictions see fresh state).
+func (q *Queue) Remove(key uint64) {
+	b, fp := q.locate(key)
+	bucket := &q.buckets[b]
+	for i := range bucket {
+		if bucket[i].used && bucket[i].fingerprint == fp {
+			bucket[i] = slot{}
+			return
+		}
+	}
+}
+
+// Hits returns the number of successful Contains lookups since creation or
+// the last ResetHits call. S3-FIFO-D's rebalancer reads this.
+func (q *Queue) Hits() uint64 { return q.hits }
+
+// ResetHits zeroes the hit counter.
+func (q *Queue) ResetHits() { q.hits = 0 }
+
+// Len returns the number of live entries (linear scan; intended for tests
+// and instrumentation, not the hot path).
+func (q *Queue) Len() int {
+	n := 0
+	for i := range q.buckets {
+		for _, s := range q.buckets[i] {
+			if q.live(s) {
+				n++
+			}
+		}
+	}
+	return n
+}

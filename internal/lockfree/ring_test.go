@@ -1,0 +1,172 @@
+package lockfree
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	r := NewRing(8)
+	for i := uint64(0); i < 8; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Error("push into full ring succeeded")
+	}
+	for i := uint64(0); i < 8; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Error("pop from empty ring succeeded")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := NewRing(4)
+	for lap := 0; lap < 10; lap++ {
+		for i := uint64(0); i < 3; i++ {
+			if !r.TryPush(uint64(lap)*10 + i) {
+				t.Fatalf("lap %d push %d failed", lap, i)
+			}
+		}
+		for i := uint64(0); i < 3; i++ {
+			v, ok := r.TryPop()
+			if !ok || v != uint64(lap)*10+i {
+				t.Fatalf("lap %d pop = %d,%v", lap, v, ok)
+			}
+		}
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	r := NewRing(5) // rounds to 8
+	pushed := 0
+	for i := uint64(0); i < 100; i++ {
+		if r.TryPush(i) {
+			pushed++
+		}
+	}
+	if pushed != 8 {
+		t.Errorf("pushed %d, want 8", pushed)
+	}
+	if r.Len() != 8 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	r := NewRing(16)
+	for i := uint64(0); i < 10; i++ {
+		r.TryPush(i)
+	}
+	var got []uint64
+	n := r.Drain(func(v uint64) { got = append(got, v) }, 4)
+	if n != 4 || len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Errorf("Drain(4) = %d, %v", n, got)
+	}
+	n = r.Drain(func(v uint64) { got = append(got, v) }, 100)
+	if n != 6 || len(got) != 10 {
+		t.Errorf("Drain(rest) = %d, %v", n, got)
+	}
+}
+
+// TestMPSCStress: many producers, one consumer; every pushed value is
+// consumed exactly once (run with -race).
+func TestMPSCStress(t *testing.T) {
+	const producers = 4
+	const perProducer = 50_000
+	r := NewRing(1024)
+	var pushed atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := uint64(p)<<32 | uint64(i)
+				for !r.TryPush(v) {
+					runtime.Gosched() // full: wait for the consumer
+				}
+				pushed.Add(1)
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	seen := make(map[uint64]bool, producers*perProducer)
+	go func() {
+		defer close(done)
+		for len(seen) < producers*perProducer {
+			v, ok := r.TryPop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if seen[v] {
+				t.Errorf("value %x consumed twice", v)
+				return
+			}
+			seen[v] = true
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d of %d", len(seen), producers*perProducer)
+	}
+	// Per-producer FIFO: values from one producer arrive in order is NOT
+	// guaranteed across claims, but each producer's own pushes are ordered
+	// by the sequence protocol; verify via monotone per-producer max.
+	max := map[uint64]uint64{}
+	for v := range seen {
+		p := v >> 32
+		if v&0xffffffff > max[p] {
+			max[p] = v & 0xffffffff
+		}
+	}
+	for p := uint64(0); p < producers; p++ {
+		if max[p] != perProducer-1 {
+			t.Errorf("producer %d max %d", p, max[p])
+		}
+	}
+}
+
+func BenchmarkPushPopSingleThread(b *testing.B) {
+	r := NewRing(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.TryPush(uint64(i))
+		r.TryPop()
+	}
+}
+
+func BenchmarkProducersWithConsumer(b *testing.B) {
+	r := NewRing(4096)
+	stop := make(chan struct{})
+	go func() { // the single consumer
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, ok := r.TryPop(); !ok {
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			for !r.TryPush(1) {
+				runtime.Gosched()
+			}
+		}
+	})
+	close(stop)
+}

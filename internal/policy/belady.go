@@ -1,0 +1,160 @@
+package policy
+
+import (
+	"container/heap"
+
+	"s3fifo/internal/trace"
+)
+
+// Belady is the offline optimal (for unit-size objects) eviction policy:
+// on each miss it evicts the resident object whose next use is furthest in
+// the future. It needs the full request sequence up front and must be
+// replayed in exactly that order. Used for the frequency-at-eviction
+// analysis of Fig. 4 and as an upper bound in tests.
+//
+// With variable sizes Belady's rule is no longer optimal (size-aware
+// offline optimality is NP-hard); we keep the furthest-next-use rule,
+// which is the customary "Belady" extension.
+type Belady struct {
+	base
+	next     []uint64 // next[i] = position of the next request for the same key, or infinity
+	pos      int      // cursor into the trace
+	resident map[uint64]*beladyEntry
+	pq       beladyHeap
+}
+
+type beladyEntry struct {
+	size     uint32
+	nextUse  uint64
+	freq     int
+	inserted uint64
+}
+
+const beladyInf = ^uint64(0)
+
+type beladyItem struct {
+	key     uint64
+	nextUse uint64
+}
+
+type beladyHeap []beladyItem
+
+func (h beladyHeap) Len() int           { return len(h) }
+func (h beladyHeap) Less(i, j int) bool { return h[i].nextUse > h[j].nextUse } // max-heap
+func (h beladyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *beladyHeap) Push(x any)        { *h = append(*h, x.(beladyItem)) }
+func (h *beladyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// NewBelady builds the offline policy for tr.
+func NewBelady(capacity uint64, tr trace.Trace) *Belady {
+	b := &Belady{
+		base:     base{name: "belady", capacity: capacity},
+		next:     make([]uint64, len(tr)),
+		resident: make(map[uint64]*beladyEntry),
+	}
+	last := make(map[uint64]int, len(tr)/2+1)
+	for i := len(tr) - 1; i >= 0; i-- {
+		if tr[i].Op != trace.OpGet {
+			b.next[i] = beladyInf
+			continue
+		}
+		if j, ok := last[tr[i].ID]; ok {
+			b.next[i] = uint64(j)
+		} else {
+			b.next[i] = beladyInf
+		}
+		last[tr[i].ID] = i
+	}
+	return b
+}
+
+// Request implements Policy. Calls must follow the constructor trace.
+func (b *Belady) Request(key uint64, size uint32) bool {
+	if b.pos >= len(b.next) {
+		panic("belady: more requests than the constructor trace")
+	}
+	nextUse := b.next[b.pos]
+	b.pos++
+	b.clock++
+	if e, ok := b.resident[key]; ok {
+		e.freq++
+		e.nextUse = nextUse
+		heap.Push(&b.pq, beladyItem{key: key, nextUse: nextUse})
+		return true
+	}
+	if uint64(size) > b.capacity {
+		return false
+	}
+	if nextUse == beladyInf {
+		// Never used again: optimal is to bypass entirely. (Belady with
+		// bypass; matches what libCacheSim's oracle does.)
+		return false
+	}
+	if b.used+uint64(size) > b.capacity {
+		// Bypass also when the incoming object would be the first victim:
+		// admitting it only to evict it before its next use is the same
+		// miss count with pointless churn.
+		if far, ok := b.peekMaxNextUse(); ok && nextUse >= far {
+			return false
+		}
+	}
+	for b.used+uint64(size) > b.capacity {
+		b.evict()
+	}
+	b.resident[key] = &beladyEntry{size: size, nextUse: nextUse, inserted: b.clock}
+	heap.Push(&b.pq, beladyItem{key: key, nextUse: nextUse})
+	b.used += uint64(size)
+	return false
+}
+
+// peekMaxNextUse returns the furthest next-use time among residents,
+// discarding stale heap entries on the way.
+func (b *Belady) peekMaxNextUse() (uint64, bool) {
+	for b.pq.Len() > 0 {
+		top := b.pq[0]
+		e, ok := b.resident[top.key]
+		if !ok || e.nextUse != top.nextUse {
+			heap.Pop(&b.pq)
+			continue
+		}
+		return top.nextUse, true
+	}
+	return 0, false
+}
+
+func (b *Belady) evict() {
+	for b.pq.Len() > 0 {
+		item := heap.Pop(&b.pq).(beladyItem)
+		e, ok := b.resident[item.key]
+		if !ok || e.nextUse != item.nextUse {
+			continue // stale
+		}
+		delete(b.resident, item.key)
+		b.used -= uint64(e.size)
+		b.notify(item.key, e.size, e.freq, e.inserted)
+		return
+	}
+}
+
+// Contains implements Policy.
+func (b *Belady) Contains(key uint64) bool {
+	_, ok := b.resident[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (b *Belady) Delete(key uint64) {
+	if e, ok := b.resident[key]; ok {
+		delete(b.resident, key)
+		b.used -= uint64(e.size)
+	}
+}
+
+// Len returns the number of cached objects.
+func (b *Belady) Len() int { return len(b.resident) }

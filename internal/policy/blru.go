@@ -1,0 +1,68 @@
+package policy
+
+import "s3fifo/internal/sketch"
+
+// BLRU is Bloom-filter LRU (§5.2 "Common algorithms"): an LRU cache whose
+// admission is gated by a Bloom filter — an object is only admitted on its
+// second appearance. This rejects all one-hit wonders at the cost of
+// making every object's second request a miss, which is why the paper
+// finds it worse than plain LRU on most workloads.
+type BLRU struct {
+	base
+	lru    *LRU
+	seen   *sketch.Bloom
+	window int
+}
+
+// NewBLRU returns a Bloom-filter-admission LRU.
+func NewBLRU(capacity uint64) *BLRU {
+	window := int(capacity)
+	if window > 1<<22 {
+		window = 1 << 22
+	}
+	if window < 16 {
+		window = 16
+	}
+	b := &BLRU{
+		base:   base{name: "b-lru", capacity: capacity},
+		lru:    NewLRU(capacity),
+		seen:   sketch.NewBloom(window, 0.01),
+		window: window,
+	}
+	return b
+}
+
+// Request implements Policy.
+func (b *BLRU) Request(key uint64, size uint32) bool {
+	b.clock++
+	b.lru.clock = b.clock
+	if b.lru.Contains(key) {
+		return b.lru.Request(key, size)
+	}
+	if !b.seen.Contains(key) {
+		// First sighting: remember it, do not admit.
+		if b.seen.Count() >= b.window {
+			b.seen.Clear()
+		}
+		b.seen.Add(key)
+		return false
+	}
+	b.lru.Request(key, size)
+	return false
+}
+
+// Contains implements Policy.
+func (b *BLRU) Contains(key uint64) bool { return b.lru.Contains(key) }
+
+// Delete implements Policy.
+func (b *BLRU) Delete(key uint64) { b.lru.Delete(key) }
+
+// Used implements Policy.
+func (b *BLRU) Used() uint64 { return b.lru.Used() }
+
+// SetObserver implements Policy, forwarding to the inner LRU where
+// evictions actually happen.
+func (b *BLRU) SetObserver(o Observer) { b.lru.SetObserver(o) }
+
+// Len returns the number of cached objects.
+func (b *BLRU) Len() int { return b.lru.Len() }

@@ -1,0 +1,83 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// Clock implements FIFO-Reinsertion, equivalently Second Chance or CLOCK
+// (§3, footnote 1): objects carry a reference bit set on hit; eviction
+// scans from the FIFO tail, reinserting referenced objects with the bit
+// cleared and evicting the first unreferenced one.
+type Clock struct {
+	base
+	queue *list.List
+	index map[uint64]*list.Node
+}
+
+// NewClock returns a CLOCK/FIFO-Reinsertion cache.
+func NewClock(capacity uint64) *Clock {
+	return &Clock{
+		base:  base{name: "clock", capacity: capacity},
+		queue: list.New(),
+		index: make(map[uint64]*list.Node),
+	}
+}
+
+// Request implements Policy.
+func (c *Clock) Request(key uint64, size uint32) bool {
+	c.clock++
+	if n, ok := c.index[key]; ok {
+		n.Freq++
+		n.Aux |= clockRefBit
+		return true
+	}
+	if uint64(size) > c.capacity {
+		return false
+	}
+	for c.used+uint64(size) > c.capacity {
+		c.evict()
+	}
+	n := &list.Node{Key: key, Size: size, Aux: int64(c.clock) << 1}
+	c.queue.PushFront(n)
+	c.index[key] = n
+	c.used += uint64(size)
+	return false
+}
+
+// clockRefBit is the low bit of Aux; the upper bits store insertion time.
+const clockRefBit = 1
+
+func (c *Clock) evict() {
+	for {
+		n := c.queue.Back()
+		if n == nil {
+			return
+		}
+		if n.Aux&clockRefBit != 0 {
+			n.Aux &^= clockRefBit
+			c.queue.MoveToFront(n)
+			continue
+		}
+		c.queue.Remove(n)
+		delete(c.index, n.Key)
+		c.used -= uint64(n.Size)
+		c.notify(n.Key, n.Size, int(n.Freq), uint64(n.Aux>>1))
+		return
+	}
+}
+
+// Contains implements Policy.
+func (c *Clock) Contains(key uint64) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (c *Clock) Delete(key uint64) {
+	if n, ok := c.index[key]; ok {
+		c.queue.Remove(n)
+		delete(c.index, key)
+		c.used -= uint64(n.Size)
+	}
+}
+
+// Len returns the number of cached objects.
+func (c *Clock) Len() int { return c.queue.Len() }

@@ -1,0 +1,267 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// ClockPro implements CLOCK-Pro (Jiang, Chen & Zhang, ATC'05, cited as
+// [74]), the CLOCK-based approximation of LIRS. All pages — hot, resident
+// cold, and non-resident cold pages in their test period — sit on one
+// clock ring in insertion order. The eviction hand sweeps from the oldest
+// position:
+//
+//   - a referenced resident cold page is promoted to hot if still in its
+//     test period (its reuse distance is provably short), or granted a
+//     fresh test period otherwise;
+//   - an unreferenced resident cold page is evicted, leaving a
+//     non-resident test entry if its test period is still running;
+//   - a hot page over the hot budget is demoted to cold; otherwise it
+//     gets the usual CLOCK second chance;
+//   - a test entry reaching the oldest position has survived one full
+//     rotation: its test period expires and the cold target shrinks.
+//
+// A miss on a page still in its test period grows the cold target — the
+// adaptation mirroring LIRS's stack promotion.
+type ClockPro struct {
+	base
+	ring  *list.List // clock order: front = most recently (re)inserted
+	index map[uint64]*cpEntry
+
+	coldTarget uint64 // byte budget for resident cold pages (adaptive)
+	hotBytes   uint64
+	coldBytes  uint64 // resident cold bytes
+	testCount  int    // non-resident test entries
+}
+
+type cpStatus uint8
+
+const (
+	cpHot cpStatus = iota
+	cpColdResident
+	cpColdTest // non-resident, in test period
+)
+
+type cpEntry struct {
+	key       uint64
+	size      uint32
+	status    cpStatus
+	ref       bool
+	inTest    bool   // resident cold only: test period still running
+	testStart uint64 // clock when the non-resident test period began
+	node      *list.Node
+	freq      int
+	inserted  uint64
+}
+
+// NewClockPro returns a CLOCK-Pro cache. The cold target starts at a
+// LIRS-like small allocation (10% of capacity) and adapts from
+// test-period outcomes in both directions.
+func NewClockPro(capacity uint64) *ClockPro {
+	coldTarget := capacity / 10
+	if coldTarget < 1 {
+		coldTarget = 1
+	}
+	return &ClockPro{
+		base:       base{name: "clock-pro", capacity: capacity},
+		ring:       list.New(),
+		index:      make(map[uint64]*cpEntry),
+		coldTarget: coldTarget,
+	}
+}
+
+// Request implements Policy.
+func (c *ClockPro) Request(key uint64, size uint32) bool {
+	c.clock++
+	if e, ok := c.index[key]; ok && e.status != cpColdTest {
+		e.ref = true
+		e.freq++
+		return true
+	}
+	if uint64(size) > c.capacity {
+		return false
+	}
+	hot := false
+	if e, ok := c.index[key]; ok {
+		// Re-accessed during its test period: cold space was too small,
+		// and the page has proven a short reuse distance — insert as hot.
+		hot = true
+		c.growCold(uint64(e.size))
+		c.removeEntry(e)
+	}
+	for c.used+uint64(size) > c.capacity {
+		c.evictOne()
+	}
+	ne := &cpEntry{key: key, size: size, inserted: c.clock, node: &list.Node{Key: key, Size: size}}
+	if hot {
+		ne.status = cpHot
+		c.hotBytes += uint64(size)
+	} else {
+		ne.status = cpColdResident
+		ne.inTest = true
+		c.coldBytes += uint64(size)
+	}
+	c.ring.PushFront(ne.node)
+	c.index[key] = ne
+	c.used += uint64(size)
+	return false
+}
+
+func (c *ClockPro) growCold(delta uint64) {
+	c.coldTarget += delta
+	if c.coldTarget > c.capacity {
+		c.coldTarget = c.capacity
+	}
+}
+
+func (c *ClockPro) shrinkCold(delta uint64) {
+	if c.coldTarget > delta {
+		c.coldTarget -= delta
+	} else {
+		c.coldTarget = 1
+	}
+}
+
+func (c *ClockPro) hotTarget() uint64 {
+	if c.capacity > c.coldTarget {
+		return c.capacity - c.coldTarget
+	}
+	return 0
+}
+
+// evictOne removes exactly one resident page. The sweep is bounded: every
+// rotation step either removes an entry, clears a reference bit, changes
+// a page's status, or rotates a stable page toward the front — and a
+// resident page always exists, so the guard never fires in practice.
+func (c *ClockPro) evictOne() {
+	guard := 4*c.ring.Len() + 8
+	for ; guard > 0; guard-- {
+		n := c.ring.Back()
+		if n == nil {
+			return
+		}
+		e := c.index[n.Key]
+		switch e.status {
+		case cpColdTest:
+			// A test period lasts roughly one cache's worth of requests
+			// (the LIRS-style reuse-distance test); expire it only then.
+			if c.clock-e.testStart > c.capacity {
+				c.shrinkCold(uint64(e.size))
+				c.removeEntry(e)
+			} else {
+				c.ring.MoveToFront(n)
+			}
+
+		case cpColdResident:
+			if e.ref {
+				e.ref = false
+				if e.inTest {
+					// Reused within its test period: promote to hot.
+					e.status = cpHot
+					c.coldBytes -= uint64(e.size)
+					c.hotBytes += uint64(e.size)
+				} else {
+					e.inTest = true // start a fresh test period
+				}
+				c.ring.MoveToFront(n)
+				continue
+			}
+			// The victim. Keep a non-resident test entry if still testing.
+			c.coldBytes -= uint64(e.size)
+			c.used -= uint64(e.size)
+			c.notify(e.key, e.size, e.freq, e.inserted)
+			if e.inTest {
+				e.status = cpColdTest
+				e.testStart = c.clock
+				c.testCount++
+				c.ring.MoveToFront(n)
+				c.boundTests()
+			} else {
+				c.removeEntry(e)
+			}
+			return
+
+		case cpHot:
+			if e.ref {
+				e.ref = false
+				c.ring.MoveToFront(n)
+				continue
+			}
+			if c.hotBytes > c.hotTarget() {
+				// Demote: the hot set is over budget.
+				e.status = cpColdResident
+				e.inTest = true
+				c.hotBytes -= uint64(e.size)
+				c.coldBytes += uint64(e.size)
+			}
+			c.ring.MoveToFront(n)
+		}
+	}
+	// Guard fired (degenerate configuration): drop the oldest resident.
+	for n := c.ring.Back(); n != nil; n = n.Prev() {
+		e := c.index[n.Key]
+		if e.status == cpColdTest {
+			continue
+		}
+		if e.status == cpHot {
+			c.hotBytes -= uint64(e.size)
+		} else {
+			c.coldBytes -= uint64(e.size)
+		}
+		c.used -= uint64(e.size)
+		c.notify(e.key, e.size, e.freq, e.inserted)
+		c.removeEntry(e)
+		return
+	}
+}
+
+// boundTests caps non-resident test entries at the resident population,
+// expiring the oldest ones beyond the cap.
+func (c *ClockPro) boundTests() {
+	residents := len(c.index) - c.testCount
+	limit := residents + 64
+	if c.testCount <= limit {
+		return
+	}
+	for n := c.ring.Back(); n != nil && c.testCount > limit; {
+		prev := n.Prev()
+		e := c.index[n.Key]
+		if e.status == cpColdTest {
+			c.shrinkCold(uint64(e.size))
+			c.removeEntry(e)
+		}
+		n = prev
+	}
+}
+
+// removeEntry unlinks e entirely.
+func (c *ClockPro) removeEntry(e *cpEntry) {
+	if e.node.InList() {
+		c.ring.Remove(e.node)
+	}
+	if e.status == cpColdTest {
+		c.testCount--
+	}
+	delete(c.index, e.key)
+}
+
+// Contains implements Policy.
+func (c *ClockPro) Contains(key uint64) bool {
+	e, ok := c.index[key]
+	return ok && e.status != cpColdTest
+}
+
+// Delete implements Policy.
+func (c *ClockPro) Delete(key uint64) {
+	e, ok := c.index[key]
+	if !ok || e.status == cpColdTest {
+		return
+	}
+	if e.status == cpHot {
+		c.hotBytes -= uint64(e.size)
+	} else {
+		c.coldBytes -= uint64(e.size)
+	}
+	c.used -= uint64(e.size)
+	c.removeEntry(e)
+}
+
+// Len returns the number of resident objects.
+func (c *ClockPro) Len() int { return len(c.index) - c.testCount }

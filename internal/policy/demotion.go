@@ -1,0 +1,25 @@
+package policy
+
+// Demotion describes an object leaving a policy's probationary region (the
+// small FIFO queue in S3-FIFO, the admission window in TinyLFU, T1 in
+// ARC). §6.1 of the paper measures quick-demotion speed (how long objects
+// stay in the probationary region) and precision (whether demoted objects
+// were good eviction candidates) from these events.
+type Demotion struct {
+	Key uint64
+	// Entered and Left are logical times (requests processed by the
+	// policy) when the object entered and left the probationary region.
+	Entered, Left uint64
+	// ToMain is true when the object was promoted into the main region
+	// rather than demoted out of the cache.
+	ToMain bool
+}
+
+// DemotionObserver receives demotion events.
+type DemotionObserver func(Demotion)
+
+// DemotionTracker is implemented by policies with an identifiable
+// probationary region.
+type DemotionTracker interface {
+	SetDemotionObserver(DemotionObserver)
+}

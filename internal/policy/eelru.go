@@ -1,0 +1,152 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// EELRU implements Early Eviction LRU (Smaragdakis, Kaplan & Wilson,
+// SIGMETRICS'99, cited as [124]). EELRU watches where on the recency axis
+// hits occur: many hits just beyond the cache size — the signature of a
+// loop slightly larger than memory — mean plain LRU is pathological, and
+// EELRU switches to evicting from an early point e of the recency axis
+// instead of the tail, retaining the older portion of the loop.
+//
+// The recency axis is kept as two resident segments (early = the most
+// recent half, late = the older half) plus a ghost region of one extra
+// cache's worth of evicted IDs (e = C/2, M = 2C, the paper's canonical
+// configuration). Hits in the late region argue for LRU eviction; hits in
+// the ghost region argue for early-point eviction; the counters decay
+// every C requests so the decision adapts.
+type EELRU struct {
+	base
+	early, late *list.List // residents by recency; early front = MRU
+	earlyBytes  uint64
+	ghosts      *ghostList
+	index       map[uint64]*eelruEntry
+
+	lateHits, extHits float64
+	sinceDecay        uint64
+}
+
+type eelruEntry struct {
+	node    *list.Node
+	inEarly bool
+}
+
+// NewEELRU returns an EELRU cache.
+func NewEELRU(capacity uint64) *EELRU {
+	return &EELRU{
+		base:   base{name: "eelru", capacity: capacity},
+		early:  list.New(),
+		late:   list.New(),
+		ghosts: newGhostList(capacity),
+		index:  make(map[uint64]*eelruEntry),
+	}
+}
+
+// Request implements Policy.
+func (e *EELRU) Request(key uint64, size uint32) bool {
+	e.clock++
+	e.maybeDecay()
+	if ent, ok := e.index[key]; ok {
+		ent.node.Freq++
+		if !ent.inEarly {
+			// A hit deep on the recency axis: evidence for plain LRU.
+			e.lateHits++
+			e.late.Remove(ent.node)
+			e.toEarly(ent)
+		} else {
+			e.early.MoveToFront(ent.node)
+		}
+		return true
+	}
+	if uint64(size) > e.capacity {
+		return false
+	}
+	if e.ghosts.contains(key) {
+		// A hit beyond the resident axis: the LRU-pathology signal.
+		e.extHits++
+		e.ghosts.remove(key)
+	}
+	for e.used+uint64(size) > e.capacity {
+		e.evict()
+	}
+	ent := &eelruEntry{node: &list.Node{Key: key, Size: size, Aux: int64(e.clock)}}
+	e.index[key] = ent
+	e.used += uint64(size)
+	e.toEarly(ent)
+	return false
+}
+
+// toEarly inserts ent at the MRU end, demoting early-segment overflow to
+// the late segment so early holds the most recent ~half of the residents.
+func (e *EELRU) toEarly(ent *eelruEntry) {
+	e.early.PushFront(ent.node)
+	ent.inEarly = true
+	e.earlyBytes += uint64(ent.node.Size)
+	for e.earlyBytes > e.used/2 && e.early.Len() > 1 {
+		tail := e.early.PopBack()
+		e.earlyBytes -= uint64(tail.Size)
+		e.index[tail.Key].inEarly = false
+		e.late.PushFront(tail)
+	}
+}
+
+// evict removes one resident: the global LRU page normally, or the page
+// at the early point (the boundary between the segments) when hits beyond
+// the cache dominate hits in the late region.
+func (e *EELRU) evict() {
+	var victim *list.Node
+	// Early eviction pays off when the HIT DENSITY beyond the cache
+	// exceeds the density in the late region: the ghost region spans one
+	// full cache size while the late region spans half of one, so the
+	// comparison is extHits/C > lateHits/(C/2).
+	if e.extHits > 2*e.lateHits && e.early.Len() > 1 {
+		victim = e.early.PopBack() // the e-th most recent page
+		e.earlyBytes -= uint64(victim.Size)
+	} else if victim = e.late.PopBack(); victim == nil {
+		victim = e.early.PopBack()
+		if victim == nil {
+			return
+		}
+		e.earlyBytes -= uint64(victim.Size)
+	}
+	delete(e.index, victim.Key)
+	e.used -= uint64(victim.Size)
+	e.ghosts.push(victim.Key, victim.Size)
+	e.notify(victim.Key, victim.Size, int(victim.Freq), uint64(victim.Aux))
+}
+
+// maybeDecay halves the region counters periodically so old evidence
+// fades.
+func (e *EELRU) maybeDecay() {
+	e.sinceDecay++
+	if e.sinceDecay >= e.capacity+64 {
+		e.lateHits /= 2
+		e.extHits /= 2
+		e.sinceDecay = 0
+	}
+}
+
+// Contains implements Policy.
+func (e *EELRU) Contains(key uint64) bool {
+	_, ok := e.index[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (e *EELRU) Delete(key uint64) {
+	ent, ok := e.index[key]
+	if !ok {
+		return
+	}
+	if ent.inEarly {
+		e.early.Remove(ent.node)
+		e.earlyBytes -= uint64(ent.node.Size)
+	} else {
+		e.late.Remove(ent.node)
+	}
+	delete(e.index, key)
+	e.used -= uint64(ent.node.Size)
+}
+
+// Len returns the number of cached objects.
+func (e *EELRU) Len() int { return len(e.index) }

@@ -1,0 +1,225 @@
+package policy
+
+import (
+	"testing"
+
+	"s3fifo/internal/workload"
+)
+
+// TestLFUDAKeepsFrequentObjects: a high-frequency object survives churn.
+func TestLFUDAKeepsFrequentObjects(t *testing.T) {
+	p := NewLFUDA(10)
+	for i := 0; i < 50; i++ {
+		p.Request(1, 1)
+	}
+	for i := uint64(100); i < 200; i++ {
+		p.Request(i, 1)
+	}
+	if !p.Contains(1) {
+		t.Error("frequent object evicted by one-hit churn")
+	}
+}
+
+// TestLFUDAAgesOut: dynamic aging lets once-popular objects leave. With
+// plain LFU an object with 50 accesses could never be displaced by
+// objects seen a handful of times; with aging the L term catches up.
+func TestLFUDAAgesOut(t *testing.T) {
+	p := NewLFUDA(10)
+	for i := 0; i < 50; i++ {
+		p.Request(1, 1)
+	}
+	// A long phase change: a new working set of 9 objects cycles many
+	// times. Evictions raise L toward 50; once L+1 exceeds 50 the stale
+	// object goes.
+	for round := 0; round < 200; round++ {
+		for k := uint64(10); k < 21; k++ { // 11 objects > 9 free slots
+			p.Request(k, 1)
+		}
+	}
+	if p.Contains(1) {
+		t.Error("stale frequent object never aged out")
+	}
+}
+
+// TestGDSFPrefersSmallObjects: with equal frequency, the big object is
+// evicted first.
+func TestGDSFPrefersSmallObjects(t *testing.T) {
+	p := NewGDSF(100)
+	p.Request(1, 10) // big
+	p.Request(2, 1)  // small
+	p.Request(1, 10)
+	p.Request(2, 1) // equal frequency now
+	// Force evictions.
+	for i := uint64(10); i < 200; i++ {
+		p.Request(i, 1)
+	}
+	if p.Contains(1) && !p.Contains(2) {
+		t.Error("GDSF kept the large object over the equally-popular small one")
+	}
+}
+
+// TestHyperbolicDecay: an object hot long ago loses to a recently hot one.
+func TestHyperbolicDecay(t *testing.T) {
+	p := NewHyperbolic(50)
+	tr := workload.Generate(workload.Config{Objects: 500, Requests: 40000, Alpha: 1.1}, 5)
+	m := replay(p, tr)
+	r := NewRandom(50)
+	mr := replay(r, tr)
+	if m >= mr {
+		t.Errorf("hyperbolic (%d) should beat random (%d) on skewed trace", m, mr)
+	}
+}
+
+// TestLRFULambdaExtremes: λ→1 behaves like LRU; λ→0 like LFU.
+func TestLRFULambdaExtremes(t *testing.T) {
+	// Recency extreme: with λ=1, CRF is dominated by the last access, so
+	// the most recently used object is kept over an old frequent one.
+	lru := NewLRFU(2, 1.0)
+	for i := 0; i < 10; i++ {
+		lru.Request(1, 1)
+	}
+	lru.Request(2, 1)
+	lru.Request(3, 1) // evicts 1 or 2; with λ=1 the oldest access loses: 1's CRF ≈ 2 decayed hard
+	if !lru.Contains(3) {
+		t.Fatal("just-inserted object missing")
+	}
+	// Frequency extreme: with tiny λ, the frequent object survives.
+	lfu := NewLRFU(2, 1e-9)
+	for i := 0; i < 10; i++ {
+		lfu.Request(1, 1)
+	}
+	lfu.Request(2, 1)
+	lfu.Request(3, 1)
+	if !lfu.Contains(1) {
+		t.Error("λ→0: frequent object should be retained")
+	}
+}
+
+// TestMQResumeFrequencyClass: an evicted block remembered in Qout resumes
+// its high frequency class on readmission.
+func TestMQResumeFrequencyClass(t *testing.T) {
+	p := NewMQ(8)
+	for i := 0; i < 16; i++ {
+		p.Request(1, 1) // frequency class log2(16) = 4
+	}
+	for i := uint64(10); i < 30; i++ {
+		p.Request(i, 1) // evict 1 into Qout
+	}
+	if p.Contains(1) {
+		t.Skip("block 1 still resident; churn insufficient")
+	}
+	p.Request(1, 1) // readmit
+	e := p.entries[1]
+	if e.level < 2 {
+		t.Errorf("readmitted block resumed level %d, want its old high class", e.level)
+	}
+}
+
+// TestMQLifetimeDemotion: an untouched high-level block drifts down.
+func TestMQLifetimeDemotion(t *testing.T) {
+	p := NewMQ(4)
+	for i := 0; i < 8; i++ {
+		p.Request(1, 1)
+	}
+	start := p.entries[1].level
+	if start < 2 {
+		t.Fatalf("setup: level %d", start)
+	}
+	// Touch other blocks for >> lifeTime requests without touching 1.
+	for i := 0; i < int(p.lifeTime)*3; i++ {
+		p.Request(uint64(2+i%2), 1)
+	}
+	if e, ok := p.entries[1]; ok && e.level >= start {
+		t.Errorf("block 1 never demoted (level %d)", e.level)
+	}
+}
+
+// TestEELRUSwitchesToEarlyEviction: on a loop slightly larger than the
+// cache, EELRU must beat LRU (which gets zero hits).
+func TestEELRUSwitchesToEarlyEviction(t *testing.T) {
+	const n, capacity, rounds = 120, 100, 60
+	e := NewEELRU(capacity)
+	lru := NewLRU(capacity)
+	var hitsE, hitsLRU int
+	for r := 0; r < rounds; r++ {
+		for i := uint64(0); i < n; i++ {
+			if e.Request(i, 1) {
+				hitsE++
+			}
+			if lru.Request(i, 1) {
+				hitsLRU++
+			}
+		}
+	}
+	if hitsE <= hitsLRU+n {
+		t.Errorf("EELRU hits %d vs LRU %d on a loop workload", hitsE, hitsLRU)
+	}
+}
+
+// TestClockProAdaptsColdTarget: re-accesses during test periods grow the
+// cold allocation.
+func TestClockProAdaptsColdTarget(t *testing.T) {
+	p := NewClockPro(100)
+	// Build pressure so pages get evicted into test periods, then
+	// re-access them quickly.
+	for round := 0; round < 20; round++ {
+		for i := uint64(0); i < 130; i++ {
+			p.Request(i, 1)
+		}
+	}
+	// Invariants after heavy churn.
+	if p.Used() > p.Capacity() {
+		t.Errorf("Used %d > Capacity", p.Used())
+	}
+	if p.coldTarget < 1 || p.coldTarget > p.capacity {
+		t.Errorf("coldTarget %d out of range", p.coldTarget)
+	}
+}
+
+// TestClockProScanResistance: like LIRS, a scan must not flush the hot set.
+func TestClockProScanResistance(t *testing.T) {
+	p := NewClockPro(100)
+	for round := 0; round < 5; round++ {
+		for i := uint64(0); i < 80; i++ {
+			p.Request(i, 1)
+		}
+	}
+	for i := uint64(10000); i < 11000; i++ {
+		p.Request(i, 1)
+	}
+	surviving := 0
+	for i := uint64(0); i < 80; i++ {
+		if p.Contains(i) {
+			surviving++
+		}
+	}
+	if surviving < 40 {
+		t.Errorf("only %d/80 hot pages survived the scan", surviving)
+	}
+}
+
+// TestCACHEUSAdaptiveLearningRate: the learning rate must move away from
+// its initial value under a shifting workload.
+func TestCACHEUSAdaptiveLearningRate(t *testing.T) {
+	p := NewCACHEUS(200)
+	initial := p.LearningRate()
+	tr := workload.Generate(workload.Config{Objects: 3000, Requests: 100000, Alpha: 0.8, ScanFraction: 0.1}, 3)
+	replay(p, tr)
+	if p.LearningRate() == initial {
+		t.Error("learning rate never adapted")
+	}
+	if lr := p.LearningRate(); lr <= 0 || lr > 1 {
+		t.Errorf("learning rate %v out of range", lr)
+	}
+}
+
+// TestCACHEUSSRLRUScanResistance: the probationary region absorbs scans.
+func TestCACHEUSSRLRUScanResistance(t *testing.T) {
+	p := NewCACHEUS(100)
+	lru := NewLRU(100)
+	tr := workload.Generate(workload.Config{Objects: 500, Requests: 60000, Alpha: 1.0, ScanFraction: 0.3, ScanLength: 300}, 7)
+	mC, mL := replay(p, tr), replay(lru, tr)
+	if mC >= mL {
+		t.Errorf("CACHEUS (%d) should beat LRU (%d) on scan-heavy trace", mC, mL)
+	}
+}

@@ -1,0 +1,69 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// FIFO evicts objects in strict insertion order. It is the reduction
+// baseline of the paper's evaluation (§5.1.2): every other algorithm is
+// reported as a miss-ratio reduction relative to FIFO.
+type FIFO struct {
+	base
+	queue *list.List
+	index map[uint64]*list.Node
+}
+
+// NewFIFO returns a FIFO cache with the given byte capacity.
+func NewFIFO(capacity uint64) *FIFO {
+	return &FIFO{
+		base:  base{name: "fifo", capacity: capacity},
+		queue: list.New(),
+		index: make(map[uint64]*list.Node),
+	}
+}
+
+// Request implements Policy.
+func (f *FIFO) Request(key uint64, size uint32) bool {
+	f.clock++
+	if n, ok := f.index[key]; ok {
+		n.Freq++
+		return true
+	}
+	if uint64(size) > f.capacity {
+		return false // cannot fit at all; bypass
+	}
+	for f.used+uint64(size) > f.capacity {
+		f.evict()
+	}
+	n := &list.Node{Key: key, Size: size, Aux: int64(f.clock)}
+	f.queue.PushFront(n)
+	f.index[key] = n
+	f.used += uint64(size)
+	return false
+}
+
+func (f *FIFO) evict() {
+	n := f.queue.PopBack()
+	if n == nil {
+		return
+	}
+	delete(f.index, n.Key)
+	f.used -= uint64(n.Size)
+	f.notify(n.Key, n.Size, int(n.Freq), uint64(n.Aux))
+}
+
+// Contains implements Policy.
+func (f *FIFO) Contains(key uint64) bool {
+	_, ok := f.index[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (f *FIFO) Delete(key uint64) {
+	if n, ok := f.index[key]; ok {
+		f.queue.Remove(n)
+		delete(f.index, key)
+		f.used -= uint64(n.Size)
+	}
+}
+
+// Len returns the number of cached objects.
+func (f *FIFO) Len() int { return f.queue.Len() }

@@ -1,0 +1,74 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// ghostList is an exact ghost queue used by the LRU-based baselines (2Q,
+// ARC, LeCaR): it remembers recently evicted object IDs (no data) up to a
+// byte budget, evicting the oldest entries first. Unlike the fingerprint
+// table in internal/ghost it is exact, which matches how these algorithms
+// are specified in their original papers.
+type ghostList struct {
+	queue *list.List
+	index map[uint64]*list.Node
+	cap   uint64 // byte budget
+	used  uint64
+}
+
+func newGhostList(capBytes uint64) *ghostList {
+	return &ghostList{
+		queue: list.New(),
+		index: make(map[uint64]*list.Node),
+		cap:   capBytes,
+	}
+}
+
+// push records key; duplicate pushes refresh recency.
+func (g *ghostList) push(key uint64, size uint32) {
+	if n, ok := g.index[key]; ok {
+		g.queue.MoveToFront(n)
+		return
+	}
+	n := &list.Node{Key: key, Size: size}
+	g.queue.PushFront(n)
+	g.index[key] = n
+	g.used += uint64(size)
+	g.trim(g.cap)
+}
+
+// contains reports membership without side effects.
+func (g *ghostList) contains(key uint64) bool {
+	_, ok := g.index[key]
+	return ok
+}
+
+// remove drops key if present.
+func (g *ghostList) remove(key uint64) {
+	if n, ok := g.index[key]; ok {
+		g.queue.Remove(n)
+		delete(g.index, key)
+		g.used -= uint64(n.Size)
+	}
+}
+
+// popLRU removes and returns the oldest entry's key (ok=false when empty).
+func (g *ghostList) popLRU() (uint64, bool) {
+	n := g.queue.PopBack()
+	if n == nil {
+		return 0, false
+	}
+	delete(g.index, n.Key)
+	g.used -= uint64(n.Size)
+	return n.Key, true
+}
+
+// trim evicts oldest entries until used <= budget.
+func (g *ghostList) trim(budget uint64) {
+	for g.used > budget {
+		if _, ok := g.popLRU(); !ok {
+			return
+		}
+	}
+}
+
+func (g *ghostList) len() int      { return g.queue.Len() }
+func (g *ghostList) bytes() uint64 { return g.used }

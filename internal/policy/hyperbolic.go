@@ -1,0 +1,111 @@
+package policy
+
+import "s3fifo/internal/sketch"
+
+// Hyperbolic implements hyperbolic caching (Blankstein, Sen & Freedman,
+// ATC'17, cited in §7): every object is scored by frequency divided by
+// time since insertion, and eviction removes the lowest-scoring object
+// among a random sample — no queues at all. The hyperbolic decay lets new
+// objects prove themselves while old ones must keep earning their space.
+type Hyperbolic struct {
+	base
+	entries map[uint64]*hypEntry
+	keys    []uint64
+	state   uint64
+}
+
+type hypEntry struct {
+	key      uint64
+	size     uint32
+	pos      int
+	freq     float64
+	inserted uint64
+}
+
+const hypSample = 64
+
+// NewHyperbolic returns a hyperbolic-caching policy.
+func NewHyperbolic(capacity uint64) *Hyperbolic {
+	return &Hyperbolic{
+		base:    base{name: "hyperbolic", capacity: capacity},
+		entries: make(map[uint64]*hypEntry),
+		state:   0x9E3779B97F4A7C15,
+	}
+}
+
+func (h *Hyperbolic) rand() uint64 {
+	h.state = sketch.Hash(h.state, 0x4B1D)
+	return h.state
+}
+
+// Request implements Policy.
+func (h *Hyperbolic) Request(key uint64, size uint32) bool {
+	h.clock++
+	if e, ok := h.entries[key]; ok {
+		e.freq++
+		return true
+	}
+	if uint64(size) > h.capacity {
+		return false
+	}
+	for h.used+uint64(size) > h.capacity {
+		h.evict()
+	}
+	e := &hypEntry{key: key, size: size, pos: len(h.keys), freq: 1, inserted: h.clock}
+	h.entries[key] = e
+	h.keys = append(h.keys, key)
+	h.used += uint64(size)
+	return false
+}
+
+// score is the hyperbolic priority: hits per unit of lifetime (per byte,
+// so the policy is size-aware like the original paper's cost extension).
+func (h *Hyperbolic) score(e *hypEntry) float64 {
+	age := float64(h.clock-e.inserted) + 1
+	return e.freq / (age * float64(e.size))
+}
+
+func (h *Hyperbolic) evict() {
+	if len(h.keys) == 0 {
+		return
+	}
+	n := hypSample
+	if n > len(h.keys) {
+		n = len(h.keys)
+	}
+	var victim *hypEntry
+	var worst float64
+	for i := 0; i < n; i++ {
+		e := h.entries[h.keys[int(h.rand()%uint64(len(h.keys)))]]
+		if s := h.score(e); victim == nil || s < worst {
+			victim, worst = e, s
+		}
+	}
+	h.remove(victim.key)
+	h.notify(victim.key, victim.size, int(victim.freq)-1, victim.inserted)
+}
+
+func (h *Hyperbolic) remove(key uint64) {
+	e, ok := h.entries[key]
+	if !ok {
+		return
+	}
+	last := len(h.keys) - 1
+	h.keys[e.pos] = h.keys[last]
+	h.entries[h.keys[e.pos]].pos = e.pos
+	h.keys = h.keys[:last]
+	delete(h.entries, key)
+	h.used -= uint64(e.size)
+}
+
+// Contains implements Policy.
+func (h *Hyperbolic) Contains(key uint64) bool {
+	_, ok := h.entries[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (h *Hyperbolic) Delete(key uint64) { h.remove(key) }
+
+// Len returns the number of cached objects.
+func (h *Hyperbolic) Len() int { return len(h.entries) }

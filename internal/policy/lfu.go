@@ -1,0 +1,155 @@
+package policy
+
+import "container/heap"
+
+// LFUDA implements LFU with Dynamic Aging (Arlitt et al.), the practical
+// LFU variant deployed in web proxies: each object's priority is its
+// frequency plus a global age offset L, and L rises to the priority of
+// each evicted object. The aging term lets the cache shed objects that
+// were popular long ago — plain LFU's classic failure mode.
+type LFUDA struct {
+	base
+	entries map[uint64]*lfuEntry
+	pq      lfuHeap
+	age     float64 // the global inflation term L
+}
+
+type lfuEntry struct {
+	key      uint64
+	size     uint32
+	priority float64
+	freq     int
+	inserted uint64
+	version  uint64
+}
+
+type lfuHeapItem struct {
+	key      uint64
+	priority float64
+	version  uint64
+}
+
+type lfuHeap []lfuHeapItem
+
+func (h lfuHeap) Len() int           { return len(h) }
+func (h lfuHeap) Less(i, j int) bool { return h[i].priority < h[j].priority }
+func (h lfuHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *lfuHeap) Push(x any)        { *h = append(*h, x.(lfuHeapItem)) }
+func (h *lfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// NewLFUDA returns an LFU-with-dynamic-aging cache.
+func NewLFUDA(capacity uint64) *LFUDA {
+	return &LFUDA{
+		base:    base{name: "lfu-da", capacity: capacity},
+		entries: make(map[uint64]*lfuEntry),
+	}
+}
+
+func (l *LFUDA) bump(e *lfuEntry) {
+	e.freq++
+	e.priority = l.age + float64(e.freq)
+	e.version++
+	heap.Push(&l.pq, lfuHeapItem{key: e.key, priority: e.priority, version: e.version})
+}
+
+// Request implements Policy.
+func (l *LFUDA) Request(key uint64, size uint32) bool {
+	l.clock++
+	if e, ok := l.entries[key]; ok {
+		l.bump(e)
+		return true
+	}
+	if uint64(size) > l.capacity {
+		return false
+	}
+	for l.used+uint64(size) > l.capacity {
+		l.evict()
+	}
+	e := &lfuEntry{key: key, size: size, inserted: l.clock}
+	l.entries[key] = e
+	l.used += uint64(size)
+	l.bump(e)
+	return false
+}
+
+func (l *LFUDA) evict() {
+	for l.pq.Len() > 0 {
+		item := heap.Pop(&l.pq).(lfuHeapItem)
+		e, ok := l.entries[item.key]
+		if !ok || e.version != item.version {
+			continue
+		}
+		l.age = e.priority // dynamic aging: L rises to the victim's priority
+		delete(l.entries, e.key)
+		l.used -= uint64(e.size)
+		l.notify(e.key, e.size, e.freq-1, e.inserted)
+		return
+	}
+}
+
+// Contains implements Policy.
+func (l *LFUDA) Contains(key uint64) bool {
+	_, ok := l.entries[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (l *LFUDA) Delete(key uint64) {
+	if e, ok := l.entries[key]; ok {
+		delete(l.entries, key)
+		l.used -= uint64(e.size)
+	}
+}
+
+// Len returns the number of cached objects.
+func (l *LFUDA) Len() int { return len(l.entries) }
+
+// GDSF implements GreedyDual-Size-Frequency (Cherkasova; a descendant of
+// Cao & Irani's GreedyDual-Size): priority = L + freq·cost/size with unit
+// cost, so small popular objects are retained preferentially — the
+// classic size-aware web-proxy policy (§7's cost-aware line of work).
+type GDSF struct {
+	LFUDA
+}
+
+// NewGDSF returns a GreedyDual-Size-Frequency cache.
+func NewGDSF(capacity uint64) *GDSF {
+	g := &GDSF{LFUDA: LFUDA{
+		base:    base{name: "gdsf", capacity: capacity},
+		entries: make(map[uint64]*lfuEntry),
+	}}
+	return g
+}
+
+func (g *GDSF) bump(e *lfuEntry) {
+	e.freq++
+	e.priority = g.age + float64(e.freq)/float64(e.size)
+	e.version++
+	heap.Push(&g.pq, lfuHeapItem{key: e.key, priority: e.priority, version: e.version})
+}
+
+// Request implements Policy (overrides LFUDA's priority formula).
+func (g *GDSF) Request(key uint64, size uint32) bool {
+	g.clock++
+	if e, ok := g.entries[key]; ok {
+		g.bump(e)
+		return true
+	}
+	if uint64(size) > g.capacity {
+		return false
+	}
+	for g.used+uint64(size) > g.capacity {
+		g.evict()
+	}
+	e := &lfuEntry{key: key, size: size, inserted: g.clock}
+	g.entries[key] = e
+	g.used += uint64(size)
+	g.bump(e)
+	return false
+}

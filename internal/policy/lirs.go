@@ -1,0 +1,277 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// LIRS implements Jiang & Zhang's Low Inter-reference Recency Set
+// replacement (SIGMETRICS'02) with the standard 1% HIR allocation the
+// paper credits as LIRS's quick-demotion "secret sauce" (§5.2). Blocks
+// with low inter-reference recency (LIR) occupy 99% of the cache; new and
+// high-recency blocks (HIR) transit a small resident queue Q. The LIRS
+// stack S records recency; non-resident HIR entries in S let a quickly
+// re-referenced block be promoted straight to LIR.
+type LIRS struct {
+	base
+	s     *list.List // LIRS stack: front = most recent
+	q     *list.List // resident HIR queue: front = newest
+	index map[uint64]*lirsEntry
+
+	lirCap  uint64 // byte budget for LIR blocks (99%)
+	lirUsed uint64
+	nonRes  int // non-resident entries currently in S
+}
+
+type lirsStatus uint8
+
+const (
+	lir lirsStatus = iota
+	hirResident
+	hirNonResident
+)
+
+type lirsEntry struct {
+	key      uint64
+	size     uint32
+	status   lirsStatus
+	sNode    *list.Node // position in S, nil if pruned out
+	qNode    *list.Node // position in Q, nil unless resident HIR
+	freq     int
+	inserted uint64
+}
+
+// NewLIRS returns a LIRS cache; 1% of capacity (at least one object's
+// worth) is reserved for resident HIR blocks.
+func NewLIRS(capacity uint64) *LIRS {
+	hirCap := capacity / 100
+	if hirCap < 1 {
+		hirCap = 1
+	}
+	return &LIRS{
+		base:   base{name: "lirs", capacity: capacity},
+		s:      list.New(),
+		q:      list.New(),
+		index:  make(map[uint64]*lirsEntry),
+		lirCap: capacity - hirCap,
+	}
+}
+
+// Request implements Policy.
+func (l *LIRS) Request(key uint64, size uint32) bool {
+	l.clock++
+	e := l.index[key]
+	if e != nil && e.status != hirNonResident {
+		e.freq++
+		l.hit(e)
+		return true
+	}
+	if uint64(size) > l.capacity {
+		return false
+	}
+	for l.used+uint64(size) > l.capacity {
+		l.evictHIR()
+	}
+	if e != nil && e.sNode != nil {
+		// Non-resident HIR still in the stack: its reuse distance is short
+		// enough to become LIR immediately.
+		e.size = size
+		e.status = lir
+		e.freq = 0
+		e.inserted = l.clock
+		l.nonRes--
+		l.used += uint64(size)
+		l.lirUsed += uint64(size)
+		l.s.MoveToFront(e.sNode)
+		l.rebalance()
+		l.prune()
+	} else {
+		if e != nil {
+			// Lingering non-resident entry that fell out of the stack.
+			l.forget(e)
+		}
+		e = &lirsEntry{key: key, size: size, inserted: l.clock}
+		l.index[key] = e
+		e.sNode = &list.Node{Key: key, Size: size}
+		l.s.PushFront(e.sNode)
+		l.used += uint64(size)
+		if l.lirUsed+uint64(size) <= l.lirCap {
+			// Warm-up: fill the LIR set directly.
+			e.status = lir
+			l.lirUsed += uint64(size)
+		} else {
+			e.status = hirResident
+			e.qNode = &list.Node{Key: key, Size: size}
+			l.q.PushFront(e.qNode)
+		}
+	}
+	l.limitStack()
+	return false
+}
+
+func (l *LIRS) hit(e *lirsEntry) {
+	switch e.status {
+	case lir:
+		wasBottom := l.s.Back() == e.sNode
+		l.s.MoveToFront(e.sNode)
+		if wasBottom {
+			l.prune()
+		}
+	case hirResident:
+		if e.sNode != nil {
+			// In the stack: promote to LIR; the stack bottom demotes.
+			l.s.MoveToFront(e.sNode)
+			e.status = lir
+			l.lirUsed += uint64(e.size)
+			if e.qNode != nil {
+				l.q.Remove(e.qNode)
+				e.qNode = nil
+			}
+			l.rebalance()
+			l.prune()
+		} else {
+			// Fell out of the stack: stays HIR but regains stack presence
+			// and moves to the newest end of Q.
+			e.sNode = &list.Node{Key: e.key, Size: e.size}
+			l.s.PushFront(e.sNode)
+			l.q.MoveToFront(e.qNode)
+		}
+	}
+}
+
+// rebalance demotes LIR blocks from the stack bottom until the LIR set
+// fits its budget again.
+func (l *LIRS) rebalance() {
+	for l.lirUsed > l.lirCap {
+		bottom := l.s.Back()
+		if bottom == nil {
+			return
+		}
+		be := l.index[bottom.Key]
+		if be.status != lir {
+			// Invariant violation guard; prune restores it.
+			l.prune()
+			continue
+		}
+		be.status = hirResident
+		l.lirUsed -= uint64(be.size)
+		l.s.Remove(bottom)
+		be.sNode = nil
+		be.qNode = &list.Node{Key: be.key, Size: be.size}
+		l.q.PushFront(be.qNode)
+		l.prune()
+	}
+}
+
+// evictHIR evicts the oldest resident HIR block; when Q is empty it first
+// demotes the stack-bottom LIR block.
+func (l *LIRS) evictHIR() {
+	if l.q.Len() == 0 {
+		bottom := l.s.Back()
+		if bottom == nil {
+			return
+		}
+		be := l.index[bottom.Key]
+		be.status = hirResident
+		l.lirUsed -= uint64(be.size)
+		l.s.Remove(bottom)
+		be.sNode = nil
+		be.qNode = &list.Node{Key: be.key, Size: be.size}
+		l.q.PushFront(be.qNode)
+		l.prune()
+	}
+	n := l.q.PopBack()
+	if n == nil {
+		return
+	}
+	e := l.index[n.Key]
+	e.qNode = nil
+	l.used -= uint64(e.size)
+	l.notify(e.key, e.size, e.freq, e.inserted)
+	if e.sNode != nil {
+		e.status = hirNonResident
+		l.nonRes++
+	} else {
+		delete(l.index, e.key)
+	}
+}
+
+// prune removes stack-bottom entries until the bottom is a LIR block,
+// forgetting non-resident entries that leave the stack.
+func (l *LIRS) prune() {
+	for {
+		bottom := l.s.Back()
+		if bottom == nil {
+			return
+		}
+		e := l.index[bottom.Key]
+		if e.status == lir {
+			return
+		}
+		l.s.Remove(bottom)
+		e.sNode = nil
+		if e.status == hirNonResident {
+			l.forget(e)
+		}
+	}
+}
+
+// forget drops a non-resident entry entirely.
+func (l *LIRS) forget(e *lirsEntry) {
+	if e.sNode != nil {
+		l.s.Remove(e.sNode)
+		e.sNode = nil
+	}
+	if e.status == hirNonResident {
+		l.nonRes--
+	}
+	delete(l.index, e.key)
+}
+
+// limitStack bounds the stack's non-resident history to 2x the number of
+// resident objects (plus slack), dropping the oldest non-resident entries.
+// Real LIRS implementations need a similar bound to cap metadata.
+func (l *LIRS) limitStack() {
+	resident := len(l.index) - l.nonRes
+	limit := 2*resident + 64
+	if l.nonRes <= limit {
+		return
+	}
+	for n := l.s.Back(); n != nil && l.nonRes > limit; {
+		prev := n.Prev()
+		e := l.index[n.Key]
+		if e.status == hirNonResident {
+			l.forget(e)
+		}
+		n = prev
+	}
+	l.prune()
+}
+
+// Contains implements Policy.
+func (l *LIRS) Contains(key uint64) bool {
+	e, ok := l.index[key]
+	return ok && e.status != hirNonResident
+}
+
+// Delete implements Policy.
+func (l *LIRS) Delete(key uint64) {
+	e, ok := l.index[key]
+	if !ok || e.status == hirNonResident {
+		return
+	}
+	if e.qNode != nil {
+		l.q.Remove(e.qNode)
+		e.qNode = nil
+	}
+	if e.status == lir {
+		l.lirUsed -= uint64(e.size)
+	}
+	l.used -= uint64(e.size)
+	if e.sNode != nil {
+		l.s.Remove(e.sNode)
+		e.sNode = nil
+	}
+	delete(l.index, key)
+	l.prune()
+}
+
+// Len returns the number of resident objects.
+func (l *LIRS) Len() int { return len(l.index) - l.nonRes }

@@ -1,0 +1,133 @@
+package policy
+
+import (
+	"container/heap"
+	"math"
+)
+
+// LRFU implements Lee et al.'s Least Recently/Frequently Used policy
+// (TC'01, cited as [51]): each object carries a Combined Recency and
+// Frequency (CRF) value C(t) = Σ_i (1/2)^(λ·(t-t_i)) over its access
+// times, subsuming LRU (λ→∞) and LFU (λ→0). The victim is the object
+// with the lowest CRF.
+//
+// Because every CRF decays by the same factor between accesses, the
+// relative order of two objects only changes when one of them is
+// accessed; we therefore heap on rank = log2(CRF at last access) + λ·t_last,
+// which is constant between accesses, with lazy invalidation on update.
+type LRFU struct {
+	base
+	lambda  float64
+	entries map[uint64]*lrfuEntry
+	pq      lrfuHeap
+}
+
+type lrfuEntry struct {
+	key      uint64
+	size     uint32
+	crf      float64 // CRF at lastTime
+	lastTime uint64
+	freq     int
+	inserted uint64
+	version  uint64
+}
+
+type lrfuHeapItem struct {
+	key     uint64
+	rank    float64
+	version uint64
+}
+
+type lrfuHeap []lrfuHeapItem
+
+func (h lrfuHeap) Len() int           { return len(h) }
+func (h lrfuHeap) Less(i, j int) bool { return h[i].rank < h[j].rank }
+func (h lrfuHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *lrfuHeap) Push(x any)        { *h = append(*h, x.(lrfuHeapItem)) }
+func (h *lrfuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// NewLRFU returns an LRFU cache. lambda in (0,1] balances recency (high)
+// against frequency (low); the original paper finds values around 1e-4
+// to 1e-3 work well, which is the default here (λ=0.0005).
+func NewLRFU(capacity uint64, lambda float64) *LRFU {
+	if lambda <= 0 {
+		lambda = 0.0005
+	}
+	return &LRFU{
+		base:    base{name: "lrfu", capacity: capacity},
+		lambda:  lambda,
+		entries: make(map[uint64]*lrfuEntry),
+	}
+}
+
+// touch folds an access at the current clock into e's CRF.
+func (l *LRFU) touch(e *lrfuEntry) {
+	dt := float64(l.clock - e.lastTime)
+	e.crf = 1 + e.crf*math.Exp2(-l.lambda*dt)
+	e.lastTime = l.clock
+	e.version++
+	heap.Push(&l.pq, lrfuHeapItem{key: e.key, rank: l.rank(e), version: e.version})
+}
+
+// rank is a time-invariant ordering key for the CRF (see type comment).
+func (l *LRFU) rank(e *lrfuEntry) float64 {
+	return math.Log2(e.crf) + l.lambda*float64(e.lastTime)
+}
+
+// Request implements Policy.
+func (l *LRFU) Request(key uint64, size uint32) bool {
+	l.clock++
+	if e, ok := l.entries[key]; ok {
+		e.freq++
+		l.touch(e)
+		return true
+	}
+	if uint64(size) > l.capacity {
+		return false
+	}
+	for l.used+uint64(size) > l.capacity {
+		l.evict()
+	}
+	e := &lrfuEntry{key: key, size: size, lastTime: l.clock, inserted: l.clock}
+	l.entries[key] = e
+	l.used += uint64(size)
+	l.touch(e)
+	return false
+}
+
+func (l *LRFU) evict() {
+	for l.pq.Len() > 0 {
+		item := heap.Pop(&l.pq).(lrfuHeapItem)
+		e, ok := l.entries[item.key]
+		if !ok || e.version != item.version {
+			continue
+		}
+		delete(l.entries, e.key)
+		l.used -= uint64(e.size)
+		l.notify(e.key, e.size, e.freq, e.inserted)
+		return
+	}
+}
+
+// Contains implements Policy.
+func (l *LRFU) Contains(key uint64) bool {
+	_, ok := l.entries[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (l *LRFU) Delete(key uint64) {
+	if e, ok := l.entries[key]; ok {
+		delete(l.entries, key)
+		l.used -= uint64(e.size)
+	}
+}
+
+// Len returns the number of cached objects.
+func (l *LRFU) Len() int { return len(l.entries) }

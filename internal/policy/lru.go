@@ -1,0 +1,68 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// LRU evicts the least recently used object, promoting on every hit.
+type LRU struct {
+	base
+	queue *list.List
+	index map[uint64]*list.Node
+}
+
+// NewLRU returns an LRU cache with the given byte capacity.
+func NewLRU(capacity uint64) *LRU {
+	return &LRU{
+		base:  base{name: "lru", capacity: capacity},
+		queue: list.New(),
+		index: make(map[uint64]*list.Node),
+	}
+}
+
+// Request implements Policy.
+func (l *LRU) Request(key uint64, size uint32) bool {
+	l.clock++
+	if n, ok := l.index[key]; ok {
+		n.Freq++
+		l.queue.MoveToFront(n)
+		return true
+	}
+	if uint64(size) > l.capacity {
+		return false
+	}
+	for l.used+uint64(size) > l.capacity {
+		l.evict()
+	}
+	n := &list.Node{Key: key, Size: size, Aux: int64(l.clock)}
+	l.queue.PushFront(n)
+	l.index[key] = n
+	l.used += uint64(size)
+	return false
+}
+
+func (l *LRU) evict() {
+	n := l.queue.PopBack()
+	if n == nil {
+		return
+	}
+	delete(l.index, n.Key)
+	l.used -= uint64(n.Size)
+	l.notify(n.Key, n.Size, int(n.Freq), uint64(n.Aux))
+}
+
+// Contains implements Policy.
+func (l *LRU) Contains(key uint64) bool {
+	_, ok := l.index[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (l *LRU) Delete(key uint64) {
+	if n, ok := l.index[key]; ok {
+		l.queue.Remove(n)
+		delete(l.index, key)
+		l.used -= uint64(n.Size)
+	}
+}
+
+// Len returns the number of cached objects.
+func (l *LRU) Len() int { return l.queue.Len() }

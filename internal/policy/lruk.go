@@ -1,0 +1,171 @@
+package policy
+
+import "container/heap"
+
+// LRUK implements the LRU-K page replacement algorithm (O'Neil, O'Neil &
+// Weikum, SIGMOD'93) for K=2 by default: the victim is the resident object
+// whose K-th most recent reference is oldest; objects with fewer than K
+// references sort before all others (backward K-distance = infinity) and
+// break ties by oldest last reference. Access history is retained for
+// recently evicted objects (the Retained Information Period) so a
+// re-inserted object keeps its reference history.
+type LRUK struct {
+	base
+	k        int
+	entries  map[uint64]*lrukEntry // resident objects
+	history  map[uint64]*lrukHist  // non-resident access history
+	histCap  int
+	histFIFO []uint64 // eviction order for history entries
+	pq       lrukHeap
+	version  uint64
+}
+
+type lrukHist struct {
+	times []uint64 // last K access times, oldest first
+}
+
+type lrukEntry struct {
+	key      uint64
+	size     uint32
+	times    []uint64
+	freq     int
+	inserted uint64
+	version  uint64 // heap entries with stale versions are skipped
+}
+
+// kthTime returns the K-th most recent access time, or 0 when the object
+// has fewer than K accesses (treated as infinitely old).
+func (e *lrukEntry) kthTime(k int) uint64 {
+	if len(e.times) < k {
+		return 0
+	}
+	return e.times[len(e.times)-k]
+}
+
+type lrukHeapItem struct {
+	key     uint64
+	kth     uint64
+	last    uint64
+	version uint64
+}
+
+type lrukHeap []lrukHeapItem
+
+func (h lrukHeap) Len() int { return len(h) }
+func (h lrukHeap) Less(i, j int) bool {
+	if h[i].kth != h[j].kth {
+		return h[i].kth < h[j].kth
+	}
+	return h[i].last < h[j].last
+}
+func (h lrukHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *lrukHeap) Push(x any)   { *h = append(*h, x.(lrukHeapItem)) }
+func (h *lrukHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// NewLRUK returns an LRU-K cache.
+func NewLRUK(capacity uint64, k int) *LRUK {
+	if k < 1 {
+		k = 2
+	}
+	histCap := int(capacity)
+	if histCap > 1<<20 {
+		histCap = 1 << 20
+	}
+	return &LRUK{
+		base:    base{name: "lru-2", capacity: capacity},
+		k:       k,
+		entries: make(map[uint64]*lrukEntry),
+		history: make(map[uint64]*lrukHist),
+		histCap: histCap,
+	}
+}
+
+func (l *LRUK) record(e *lrukEntry) {
+	e.times = append(e.times, l.clock)
+	if len(e.times) > l.k {
+		e.times = e.times[len(e.times)-l.k:]
+	}
+	e.version++
+	l.version++
+	heap.Push(&l.pq, lrukHeapItem{
+		key: e.key, kth: e.kthTime(l.k), last: e.times[len(e.times)-1], version: e.version,
+	})
+}
+
+// Request implements Policy.
+func (l *LRUK) Request(key uint64, size uint32) bool {
+	l.clock++
+	if e, ok := l.entries[key]; ok {
+		e.freq++
+		l.record(e)
+		return true
+	}
+	if uint64(size) > l.capacity {
+		return false
+	}
+	for l.used+uint64(size) > l.capacity {
+		l.evict()
+	}
+	e := &lrukEntry{key: key, size: size, inserted: l.clock}
+	if h, ok := l.history[key]; ok {
+		e.times = h.times
+		delete(l.history, key)
+	}
+	l.entries[key] = e
+	l.used += uint64(size)
+	l.record(e)
+	return false
+}
+
+func (l *LRUK) evict() {
+	for l.pq.Len() > 0 {
+		item := heap.Pop(&l.pq).(lrukHeapItem)
+		e, ok := l.entries[item.key]
+		if !ok || e.version != item.version {
+			continue // stale heap entry
+		}
+		delete(l.entries, e.key)
+		l.used -= uint64(e.size)
+		l.retainHistory(e)
+		l.notify(e.key, e.size, e.freq, e.inserted)
+		return
+	}
+}
+
+// retainHistory keeps the evicted object's reference times for the
+// retained information period, bounded by histCap entries FIFO.
+func (l *LRUK) retainHistory(e *lrukEntry) {
+	if l.histCap == 0 {
+		return
+	}
+	if len(l.histFIFO) >= l.histCap {
+		old := l.histFIFO[0]
+		l.histFIFO = l.histFIFO[1:]
+		delete(l.history, old)
+	}
+	l.history[e.key] = &lrukHist{times: e.times}
+	l.histFIFO = append(l.histFIFO, e.key)
+}
+
+// Contains implements Policy.
+func (l *LRUK) Contains(key uint64) bool {
+	_, ok := l.entries[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (l *LRUK) Delete(key uint64) {
+	if e, ok := l.entries[key]; ok {
+		delete(l.entries, key)
+		l.used -= uint64(e.size)
+	}
+}
+
+// Len returns the number of cached objects.
+func (l *LRUK) Len() int { return len(l.entries) }

@@ -1,0 +1,159 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// MQ implements the Multi-Queue replacement algorithm (Zhou, Philbin &
+// Li, ATC'01, cited as [169]), designed for second-level buffer caches:
+// m LRU queues Q0..Qm-1 hold blocks by frequency class ⌊log2(f)⌋; a block
+// unreferenced for lifeTime requests is demoted a level, and eviction
+// takes the LRU block of the lowest non-empty queue. A ghost queue Qout
+// remembers evicted blocks' frequencies so returning blocks resume their
+// class.
+type MQ struct {
+	base
+	queues   []*list.List
+	entries  map[uint64]*mqEntry
+	qout     *ghostList
+	outFreq  map[uint64]int32
+	lifeTime uint64
+}
+
+type mqEntry struct {
+	node   *list.Node
+	level  int
+	expire uint64
+}
+
+const mqLevels = 8
+
+// NewMQ returns a Multi-Queue cache. The lifeTime parameter is set to 2x
+// the capacity in requests, a common heuristic for the peak temporal
+// distance the original paper derives from traces.
+func NewMQ(capacity uint64) *MQ {
+	m := &MQ{
+		base:     base{name: "mq", capacity: capacity},
+		entries:  make(map[uint64]*mqEntry),
+		qout:     newGhostList(capacity),
+		outFreq:  make(map[uint64]int32),
+		lifeTime: 2*capacity + 16,
+	}
+	for i := 0; i < mqLevels; i++ {
+		m.queues = append(m.queues, list.New())
+	}
+	return m
+}
+
+// level maps a frequency to its queue index.
+func mqLevel(freq int32) int {
+	lvl := 0
+	for f := freq; f > 1 && lvl < mqLevels-1; f >>= 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// Request implements Policy.
+func (m *MQ) Request(key uint64, size uint32) bool {
+	m.clock++
+	m.adjust()
+	if e, ok := m.entries[key]; ok {
+		e.node.Freq++
+		m.place(e)
+		return true
+	}
+	if uint64(size) > m.capacity {
+		return false
+	}
+	for m.used+uint64(size) > m.capacity {
+		m.evict()
+	}
+	freq := int32(1)
+	if m.qout.contains(key) {
+		// Remembered block: resume its frequency class (+1 for this access).
+		freq = m.outFreq[key] + 1
+		m.qout.remove(key)
+		delete(m.outFreq, key)
+	}
+	n := &list.Node{Key: key, Size: size, Freq: freq, Aux: int64(m.clock)}
+	e := &mqEntry{node: n, level: -1}
+	m.entries[key] = e
+	m.used += uint64(size)
+	m.place(e)
+	return false
+}
+
+// place moves e to the MRU end of its frequency-class queue and refreshes
+// its expiry.
+func (m *MQ) place(e *mqEntry) {
+	lvl := mqLevel(e.node.Freq)
+	if e.level >= 0 && e.node.InList() {
+		m.queues[e.level].Remove(e.node)
+	}
+	e.level = lvl
+	e.expire = m.clock + m.lifeTime
+	m.queues[lvl].PushFront(e.node)
+}
+
+// adjust demotes expired queue heads one level, implementing the
+// lifeTime-based aging of the original algorithm.
+func (m *MQ) adjust() {
+	for lvl := 1; lvl < mqLevels; lvl++ {
+		tail := m.queues[lvl].Back()
+		if tail == nil {
+			continue
+		}
+		e := m.entries[tail.Key]
+		if e.expire < m.clock {
+			m.queues[lvl].Remove(tail)
+			e.level = lvl - 1
+			e.expire = m.clock + m.lifeTime
+			m.queues[lvl-1].PushFront(tail)
+		}
+	}
+}
+
+func (m *MQ) evict() {
+	for lvl := 0; lvl < mqLevels; lvl++ {
+		n := m.queues[lvl].PopBack()
+		if n == nil {
+			continue
+		}
+		delete(m.entries, n.Key)
+		m.used -= uint64(n.Size)
+		m.qout.push(n.Key, n.Size)
+		m.outFreq[n.Key] = n.Freq
+		m.gcOutFreq()
+		m.notify(n.Key, n.Size, int(n.Freq)-1, uint64(n.Aux))
+		return
+	}
+}
+
+// gcOutFreq bounds the remembered-frequency map to Qout's contents.
+func (m *MQ) gcOutFreq() {
+	if len(m.outFreq) <= 2*m.qout.len()+64 {
+		return
+	}
+	for k := range m.outFreq {
+		if !m.qout.contains(k) {
+			delete(m.outFreq, k)
+		}
+	}
+}
+
+// Contains implements Policy.
+func (m *MQ) Contains(key uint64) bool {
+	_, ok := m.entries[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (m *MQ) Delete(key uint64) {
+	if e, ok := m.entries[key]; ok {
+		m.queues[e.level].Remove(e.node)
+		delete(m.entries, key)
+		m.used -= uint64(e.node.Size)
+	}
+}
+
+// Len returns the number of cached objects.
+func (m *MQ) Len() int { return len(m.entries) }

@@ -1,0 +1,94 @@
+package policy
+
+import "s3fifo/internal/sketch"
+
+// Random evicts a pseudo-random resident object. It exists as a sanity
+// baseline: any algorithm exploiting workload structure should beat it on
+// skewed traces.
+type Random struct {
+	base
+	keys  []uint64
+	pos   map[uint64]int
+	sizes map[uint64]uint32
+	freq  map[uint64]int
+	ins   map[uint64]uint64
+	state uint64
+}
+
+// NewRandom returns a random-eviction cache.
+func NewRandom(capacity uint64) *Random {
+	return &Random{
+		base:  base{name: "random", capacity: capacity},
+		pos:   make(map[uint64]int),
+		sizes: make(map[uint64]uint32),
+		freq:  make(map[uint64]int),
+		ins:   make(map[uint64]uint64),
+		state: 0x9E3779B97F4A7C15,
+	}
+}
+
+func (r *Random) next() uint64 {
+	r.state = sketch.Hash(r.state, 0xABCD)
+	return r.state
+}
+
+// Request implements Policy.
+func (r *Random) Request(key uint64, size uint32) bool {
+	r.clock++
+	if _, ok := r.pos[key]; ok {
+		r.freq[key]++
+		return true
+	}
+	if uint64(size) > r.capacity {
+		return false
+	}
+	for r.used+uint64(size) > r.capacity {
+		r.evict()
+	}
+	r.pos[key] = len(r.keys)
+	r.keys = append(r.keys, key)
+	r.sizes[key] = size
+	r.freq[key] = 0
+	r.ins[key] = r.clock
+	r.used += uint64(size)
+	return false
+}
+
+func (r *Random) evict() {
+	if len(r.keys) == 0 {
+		return
+	}
+	idx := int(r.next() % uint64(len(r.keys)))
+	key := r.keys[idx]
+	size, freq, ins := r.sizes[key], r.freq[key], r.ins[key]
+	r.remove(key)
+	r.notify(key, size, freq, ins)
+}
+
+func (r *Random) remove(key uint64) {
+	idx, ok := r.pos[key]
+	if !ok {
+		return
+	}
+	last := len(r.keys) - 1
+	r.keys[idx] = r.keys[last]
+	r.pos[r.keys[idx]] = idx
+	r.keys = r.keys[:last]
+	r.used -= uint64(r.sizes[key])
+	delete(r.pos, key)
+	delete(r.sizes, key)
+	delete(r.freq, key)
+	delete(r.ins, key)
+}
+
+// Contains implements Policy.
+func (r *Random) Contains(key uint64) bool {
+	_, ok := r.pos[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (r *Random) Delete(key uint64) { r.remove(key) }
+
+// Len returns the number of cached objects.
+func (r *Random) Len() int { return len(r.keys) }

@@ -1,0 +1,120 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// SegmentedFIFO is Turner & Levy's Segmented FIFO (§7 of the paper): N
+// FIFO segments where an object hit in a lower segment is promoted to the
+// head of the top segment on its next eviction consideration. It has no
+// ghost queue and, as the paper notes, does not perform quick demotion, so
+// its efficiency trails LRU.
+type SegmentedFIFO struct {
+	base
+	segments []*list.List
+	caps     []uint64
+	sizes    []uint64
+	index    map[uint64]*sfifoEntry
+}
+
+type sfifoEntry struct {
+	node    *list.Node
+	segment int
+	hit     bool
+}
+
+// NewSegmentedFIFO returns a segmented FIFO with n equal segments.
+func NewSegmentedFIFO(capacity uint64, n int) *SegmentedFIFO {
+	if n < 1 {
+		n = 1
+	}
+	s := &SegmentedFIFO{
+		base:  base{name: "sfifo", capacity: capacity},
+		index: make(map[uint64]*sfifoEntry),
+	}
+	for i := 0; i < n; i++ {
+		s.segments = append(s.segments, list.New())
+		c := capacity / uint64(n)
+		if i == 0 {
+			c += capacity % uint64(n)
+		}
+		s.caps = append(s.caps, c)
+	}
+	s.sizes = make([]uint64, n)
+	return s
+}
+
+// Request implements Policy. New objects enter segment 0 (the probationary
+// segment); overflow from segment i moves unreferenced objects to segment
+// i+1 and promotes referenced objects back to segment 0's head.
+func (s *SegmentedFIFO) Request(key uint64, size uint32) bool {
+	s.clock++
+	if e, ok := s.index[key]; ok {
+		e.node.Freq++
+		e.hit = true
+		return true
+	}
+	if uint64(size) > s.capacity {
+		return false
+	}
+	s.insert(0, &list.Node{Key: key, Size: size, Aux: int64(s.clock)}, false)
+	return false
+}
+
+func (s *SegmentedFIFO) insert(segment int, n *list.Node, hit bool) {
+	for s.sizes[segment]+uint64(n.Size) > s.caps[segment] {
+		s.overflow(segment)
+	}
+	s.segments[segment].PushFront(n)
+	s.sizes[segment] += uint64(n.Size)
+	if e, ok := s.index[n.Key]; ok {
+		e.node = n
+		e.segment = segment
+		e.hit = hit
+	} else {
+		s.index[n.Key] = &sfifoEntry{node: n, segment: segment, hit: hit}
+		s.used += uint64(n.Size)
+	}
+}
+
+// overflow handles eviction pressure on a segment: referenced objects get
+// a second chance at the head of segment 0; unreferenced objects demote to
+// the next segment or leave the cache from the last one.
+func (s *SegmentedFIFO) overflow(segment int) {
+	n := s.segments[segment].PopBack()
+	if n == nil {
+		return
+	}
+	s.sizes[segment] -= uint64(n.Size)
+	e := s.index[n.Key]
+	switch {
+	case e.hit:
+		e.hit = false
+		s.insert(0, n, false)
+	case segment+1 < len(s.segments):
+		s.insert(segment+1, n, false)
+	default:
+		delete(s.index, n.Key)
+		s.used -= uint64(n.Size)
+		s.notify(n.Key, n.Size, int(n.Freq), uint64(n.Aux))
+	}
+}
+
+// Contains implements Policy.
+func (s *SegmentedFIFO) Contains(key uint64) bool {
+	_, ok := s.index[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (s *SegmentedFIFO) Delete(key uint64) {
+	e, ok := s.index[key]
+	if !ok {
+		return
+	}
+	s.segments[e.segment].Remove(e.node)
+	s.sizes[e.segment] -= uint64(e.node.Size)
+	s.used -= uint64(e.node.Size)
+	delete(s.index, key)
+}
+
+// Len returns the number of cached objects.
+func (s *SegmentedFIFO) Len() int { return len(s.index) }

@@ -1,0 +1,92 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// Sieve implements the SIEVE algorithm (Zhang et al., NSDI'24, cited in
+// §7): a FIFO queue with a moving "hand". Hits set a visited bit; eviction
+// scans from the hand toward the head, clearing visited bits in place
+// (objects are NOT moved, unlike CLOCK) and evicting the first unvisited
+// object. The hand then rests where eviction happened.
+type Sieve struct {
+	base
+	queue *list.List
+	index map[uint64]*list.Node
+	hand  *list.Node
+}
+
+// NewSieve returns a SIEVE cache.
+func NewSieve(capacity uint64) *Sieve {
+	return &Sieve{
+		base:  base{name: "sieve", capacity: capacity},
+		queue: list.New(),
+		index: make(map[uint64]*list.Node),
+	}
+}
+
+const sieveVisited = 1
+
+// Request implements Policy.
+func (s *Sieve) Request(key uint64, size uint32) bool {
+	s.clock++
+	if n, ok := s.index[key]; ok {
+		n.Freq++
+		n.Aux |= sieveVisited
+		return true
+	}
+	if uint64(size) > s.capacity {
+		return false
+	}
+	for s.used+uint64(size) > s.capacity {
+		s.evict()
+	}
+	n := &list.Node{Key: key, Size: size, Aux: int64(s.clock) << 1}
+	s.queue.PushFront(n)
+	s.index[key] = n
+	s.used += uint64(size)
+	return false
+}
+
+func (s *Sieve) evict() {
+	n := s.hand
+	if n == nil {
+		n = s.queue.Back()
+	}
+	for n != nil && n.Aux&sieveVisited != 0 {
+		n.Aux &^= sieveVisited
+		n = n.Prev()
+		if n == nil {
+			n = s.queue.Back()
+		}
+	}
+	if n == nil {
+		return
+	}
+	s.hand = n.Prev() // may be nil; next eviction restarts at the tail
+	s.queue.Remove(n)
+	delete(s.index, n.Key)
+	s.used -= uint64(n.Size)
+	s.notify(n.Key, n.Size, int(n.Freq), uint64(n.Aux>>1))
+}
+
+// Contains implements Policy.
+func (s *Sieve) Contains(key uint64) bool {
+	_, ok := s.index[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (s *Sieve) Delete(key uint64) {
+	n, ok := s.index[key]
+	if !ok {
+		return
+	}
+	if s.hand == n {
+		s.hand = n.Prev()
+	}
+	s.queue.Remove(n)
+	delete(s.index, key)
+	s.used -= uint64(n.Size)
+}
+
+// Len returns the number of cached objects.
+func (s *Sieve) Len() int { return s.queue.Len() }

@@ -1,0 +1,121 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// SLRU is Segmented LRU (Karedla et al., §5.2 of the paper): n equal LRU
+// segments; objects enter the lowest segment and climb one segment per
+// hit; overflow demotes to the next lower segment, and eviction happens
+// from the bottom segment's LRU end. The bottom segment performs quick
+// demotion, but without a ghost queue SLRU is not scan-resistant.
+type SLRU struct {
+	base
+	segments []*list.List // 0 = lowest (probationary)
+	caps     []uint64
+	sizes    []uint64
+	index    map[uint64]*slruEntry
+}
+
+type slruEntry struct {
+	node    *list.Node
+	segment int
+}
+
+// NewSLRU returns an n-segment SLRU.
+func NewSLRU(capacity uint64, n int) *SLRU {
+	if n < 1 {
+		n = 1
+	}
+	s := &SLRU{
+		base:  base{name: "slru", capacity: capacity},
+		index: make(map[uint64]*slruEntry),
+	}
+	for i := 0; i < n; i++ {
+		s.segments = append(s.segments, list.New())
+		c := capacity / uint64(n)
+		if i == 0 {
+			c += capacity % uint64(n)
+		}
+		s.caps = append(s.caps, c)
+	}
+	s.sizes = make([]uint64, n)
+	return s
+}
+
+// Request implements Policy.
+func (s *SLRU) Request(key uint64, size uint32) bool {
+	s.clock++
+	if e, ok := s.index[key]; ok {
+		e.node.Freq++
+		s.promote(e)
+		return true
+	}
+	if uint64(size) > s.capacity {
+		return false
+	}
+	n := &list.Node{Key: key, Size: size, Aux: int64(s.clock)}
+	s.index[key] = &slruEntry{node: n, segment: 0}
+	s.used += uint64(size)
+	s.place(0, n)
+	return false
+}
+
+// promote moves a hit object one segment up (or to the MRU of the top
+// segment).
+func (s *SLRU) promote(e *slruEntry) {
+	target := e.segment + 1
+	if target >= len(s.segments) {
+		s.segments[e.segment].MoveToFront(e.node)
+		return
+	}
+	s.segments[e.segment].Remove(e.node)
+	s.sizes[e.segment] -= uint64(e.node.Size)
+	e.segment = target
+	s.place(target, e.node)
+}
+
+// place inserts n at the MRU end of segment, demoting overflow downward
+// and evicting from segment 0.
+func (s *SLRU) place(segment int, n *list.Node) {
+	s.segments[segment].PushFront(n)
+	s.sizes[segment] += uint64(n.Size)
+	for seg := segment; seg >= 0; seg-- {
+		for s.sizes[seg] > s.caps[seg] {
+			victim := s.segments[seg].PopBack()
+			if victim == nil {
+				break
+			}
+			s.sizes[seg] -= uint64(victim.Size)
+			if seg == 0 {
+				delete(s.index, victim.Key)
+				s.used -= uint64(victim.Size)
+				s.notify(victim.Key, victim.Size, int(victim.Freq), uint64(victim.Aux))
+				continue
+			}
+			e := s.index[victim.Key]
+			e.segment = seg - 1
+			s.segments[seg-1].PushFront(victim)
+			s.sizes[seg-1] += uint64(victim.Size)
+		}
+	}
+}
+
+// Contains implements Policy.
+func (s *SLRU) Contains(key uint64) bool {
+	_, ok := s.index[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (s *SLRU) Delete(key uint64) {
+	e, ok := s.index[key]
+	if !ok {
+		return
+	}
+	s.segments[e.segment].Remove(e.node)
+	s.sizes[e.segment] -= uint64(e.node.Size)
+	s.used -= uint64(e.node.Size)
+	delete(s.index, key)
+}
+
+// Len returns the number of cached objects.
+func (s *SLRU) Len() int { return len(s.index) }

@@ -1,0 +1,350 @@
+package policy
+
+import (
+	"testing"
+
+	"s3fifo/internal/workload"
+)
+
+// TestLRUModelCheck compares LRU against a brute-force reference model.
+func TestLRUModelCheck(t *testing.T) {
+	tr := zipfTrace(t, 50, 5000, 0.8, 31)
+	const cap = 10
+	p := NewLRU(cap)
+	var model []uint64 // front = MRU
+	find := func(k uint64) int {
+		for i, m := range model {
+			if m == k {
+				return i
+			}
+		}
+		return -1
+	}
+	for i, r := range tr {
+		hit := p.Request(r.ID, 1)
+		idx := find(r.ID)
+		wantHit := idx >= 0
+		if hit != wantHit {
+			t.Fatalf("request %d (key %d): hit=%v, model says %v", i, r.ID, hit, wantHit)
+		}
+		if idx >= 0 {
+			model = append(model[:idx], model[idx+1:]...)
+		}
+		model = append([]uint64{r.ID}, model...)
+		if len(model) > cap {
+			model = model[:cap]
+		}
+	}
+}
+
+// TestFIFOModelCheck compares FIFO against a queue model.
+func TestFIFOModelCheck(t *testing.T) {
+	tr := zipfTrace(t, 50, 5000, 0.8, 37)
+	const cap = 10
+	p := NewFIFO(cap)
+	var model []uint64 // front = oldest
+	contains := func(k uint64) bool {
+		for _, m := range model {
+			if m == k {
+				return true
+			}
+		}
+		return false
+	}
+	for i, r := range tr {
+		hit := p.Request(r.ID, 1)
+		wantHit := contains(r.ID)
+		if hit != wantHit {
+			t.Fatalf("request %d (key %d): hit=%v, model says %v", i, r.ID, hit, wantHit)
+		}
+		if !wantHit {
+			model = append(model, r.ID)
+			if len(model) > cap {
+				model = model[1:]
+			}
+		}
+	}
+}
+
+// TestClockSecondChance: a referenced object survives one eviction pass.
+func TestClockSecondChance(t *testing.T) {
+	p := NewClock(3)
+	p.Request(1, 1)
+	p.Request(2, 1)
+	p.Request(3, 1)
+	p.Request(1, 1) // sets 1's reference bit
+	p.Request(4, 1) // evicts 2 (oldest unreferenced); 1 is reinserted
+	if !p.Contains(1) {
+		t.Error("referenced object 1 should survive")
+	}
+	if p.Contains(2) {
+		t.Error("unreferenced object 2 should be the victim")
+	}
+}
+
+// TestSieveDoesNotMoveOnHit: the visited object is retained in place; the
+// object inserted after it is evicted first once the hand passes.
+func TestSieveDoesNotMoveOnHit(t *testing.T) {
+	p := NewSieve(3)
+	p.Request(1, 1)
+	p.Request(2, 1)
+	p.Request(3, 1)
+	p.Request(2, 1) // visit 2
+	p.Request(4, 1) // hand scans from tail: 1 unvisited -> evicted
+	if p.Contains(1) {
+		t.Error("object 1 should be evicted")
+	}
+	if !p.Contains(2) {
+		t.Error("visited object 2 should survive")
+	}
+	p.Request(5, 1) // hand continues: 2's bit cleared earlier? no: 2 visited was cleared when? not yet passed. 3 unvisited -> evicted
+	if !p.Contains(2) {
+		t.Error("object 2 should still be resident")
+	}
+	if p.Contains(3) {
+		t.Error("object 3 should be evicted before visited 2")
+	}
+}
+
+// TestSLRUPromotion: one hit moves an object out of the probationary
+// segment so a subsequent flood of new objects cannot displace it.
+func TestSLRUPromotion(t *testing.T) {
+	p := NewSLRU(8, 4)
+	p.Request(1, 1)
+	p.Request(1, 1) // promote to segment 1
+	for i := uint64(100); i < 120; i++ {
+		p.Request(i, 1)
+	}
+	if !p.Contains(1) {
+		t.Error("promoted object displaced by probationary churn")
+	}
+}
+
+// Test2QReadmission: an object evicted from A1in and re-requested through
+// A1out lands in Am and survives subsequent one-hit churn.
+func Test2QReadmission(t *testing.T) {
+	p := New2Q(8) // A1in quota = 2
+	p.Request(1, 1)
+	// Push enough new objects through to evict 1 from A1in into A1out.
+	for i := uint64(10); i < 20; i++ {
+		p.Request(i, 1)
+	}
+	if p.Contains(1) {
+		t.Fatal("object 1 should have been evicted from A1in")
+	}
+	p.Request(1, 1) // A1out hit -> admit into Am
+	for i := uint64(30); i < 36; i++ {
+		p.Request(i, 1)
+	}
+	if !p.Contains(1) {
+		t.Error("object 1 should be protected in Am")
+	}
+}
+
+// TestARCAdaptsP: ghost hits on B1 must grow the recency target.
+func TestARCAdaptsP(t *testing.T) {
+	p := NewARC(10)
+	if p.P() != 0 {
+		t.Fatalf("initial p = %d", p.P())
+	}
+	// Build a frequency set: fill T1, then re-reference to move into T2.
+	for i := uint64(0); i < 10; i++ {
+		p.Request(i, 1)
+	}
+	for i := uint64(0); i < 10; i++ {
+		p.Request(i, 1)
+	}
+	// Churn new objects through T1: with T2 holding the hot set, T1
+	// victims are recorded in the B1 ghost.
+	for i := uint64(100); i < 110; i++ {
+		p.Request(i, 1)
+	}
+	before := p.P()
+	grew := false
+	for i := uint64(100); i < 110; i++ {
+		if !p.Contains(i) {
+			p.Request(i, 1) // B1 ghost hit
+			if p.P() > before {
+				grew = true
+			}
+		}
+	}
+	if !grew {
+		t.Errorf("p did not grow after B1 hits (still %d)", p.P())
+	}
+}
+
+// TestBLRUSecondRequestMiss: B-LRU's defining behavior.
+func TestBLRUSecondRequestMiss(t *testing.T) {
+	p := NewBLRU(100)
+	if p.Request(1, 1) {
+		t.Error("first request should miss")
+	}
+	if p.Request(1, 1) {
+		t.Error("second request should miss (admission on second sighting)")
+	}
+	if !p.Request(1, 1) {
+		t.Error("third request should hit")
+	}
+}
+
+// TestTinyLFURejectsColdCandidate: a one-hit wonder leaving the window
+// must lose the duel against a frequently used probation victim.
+func TestTinyLFURejectsColdCandidate(t *testing.T) {
+	p := NewTinyLFU(100, 0.01) // window of 1 object
+	// Build frequency for a working set that fills main.
+	for round := 0; round < 5; round++ {
+		for i := uint64(0); i < 99; i++ {
+			p.Request(i, 1)
+		}
+	}
+	if !p.Contains(5) {
+		t.Fatal("hot object missing from main")
+	}
+	// Stream one-hit wonders; they should all be filtered at the window.
+	for i := uint64(1000); i < 1200; i++ {
+		p.Request(i, 1)
+	}
+	hot := 0
+	for i := uint64(0); i < 99; i++ {
+		if p.Contains(i) {
+			hot++
+		}
+	}
+	if hot < 90 {
+		t.Errorf("only %d/99 hot objects survived one-hit-wonder churn", hot)
+	}
+}
+
+// TestLRUKPrefersSingleAccessVictims: with K=2, objects never re-referenced
+// are evicted before twice-referenced ones.
+func TestLRUKPrefersSingleAccessVictims(t *testing.T) {
+	p := NewLRUK(4, 2)
+	p.Request(1, 1)
+	p.Request(2, 1)
+	p.Request(1, 1) // 1 now has 2 references
+	p.Request(3, 1)
+	p.Request(4, 1)
+	p.Request(5, 1) // evicts one of {2,3,4} (K-distance infinite), never 1
+	if !p.Contains(1) {
+		t.Error("twice-referenced object 1 evicted before single-access objects")
+	}
+	if p.Contains(2) {
+		t.Error("object 2 (oldest single-access) should be the victim")
+	}
+}
+
+// TestLeCaRWeightsMove: ghost hits shift the expert weights away from 0.5.
+func TestLeCaRWeightsMove(t *testing.T) {
+	p := NewLeCaR(50)
+	tr := workload.Generate(workload.Config{Objects: 500, Requests: 20000, Alpha: 0.7}, 41)
+	replay(p, tr)
+	if p.WeightLRU() == 0.5 {
+		t.Error("LeCaR weights never updated")
+	}
+	if w := p.WeightLRU(); w <= 0 || w >= 1 {
+		t.Errorf("weight out of range: %v", w)
+	}
+}
+
+// TestLIRSScanResistance: after a large scan, the hot LIR set survives.
+func TestLIRSScanResistance(t *testing.T) {
+	p := NewLIRS(100)
+	// Establish a hot LIR set with multiple rounds.
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 90; i++ {
+			p.Request(i, 1)
+		}
+	}
+	// Scan 1000 one-time objects.
+	for i := uint64(10000); i < 11000; i++ {
+		p.Request(i, 1)
+	}
+	surviving := 0
+	for i := uint64(0); i < 90; i++ {
+		if p.Contains(i) {
+			surviving++
+		}
+	}
+	if surviving < 85 {
+		t.Errorf("only %d/90 hot objects survived the scan", surviving)
+	}
+}
+
+// TestLIRSPromotionOnQuickReuse: a block re-referenced while still in the
+// stack becomes LIR even after eviction (non-resident HIR promotion).
+func TestLIRSPromotionOnQuickReuse(t *testing.T) {
+	p := NewLIRS(10)
+	for i := uint64(0); i < 20; i++ {
+		p.Request(i, 1)
+	}
+	// Object 19 was just inserted as HIR; re-request it to promote.
+	if !p.Contains(19) {
+		// may have been evicted from tiny HIR queue; re-insert
+		p.Request(19, 1)
+	}
+	p.Request(19, 1)
+	// Churn the HIR queue; 19 should persist as LIR.
+	for i := uint64(100); i < 120; i++ {
+		p.Request(i, 1)
+	}
+	if !p.Contains(19) {
+		t.Error("promoted LIR block evicted by HIR churn")
+	}
+}
+
+// TestFIFOMergeRetainsHotObjects: merge keeps frequently accessed objects.
+func TestFIFOMergeRetainsHotObjects(t *testing.T) {
+	p := NewFIFOMerge(64)
+	// Insert a hot object and keep it hot.
+	p.Request(1, 1)
+	for i := uint64(10); i < 70; i++ {
+		p.Request(i, 1)
+		p.Request(1, 1)
+	}
+	if !p.Contains(1) {
+		t.Error("hot object lost during merges")
+	}
+}
+
+// TestBeladyPanicsBeyondTrace guards the offline cursor.
+func TestBeladyPanicsBeyondTrace(t *testing.T) {
+	tr := zipfTrace(t, 10, 20, 0.5, 43)
+	b := NewBelady(5, tr)
+	replay(b, tr)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic past end of trace")
+		}
+	}()
+	b.Request(1, 1)
+}
+
+// TestBeladyBypassesDeadObjects: an object with no future use is never
+// admitted.
+func TestBeladyBypassesDeadObjects(t *testing.T) {
+	tr := zipfTrace(t, 1000, 2000, 0.1, 47) // mostly one-hit wonders
+	b := NewBelady(100, tr)
+	for i, r := range tr {
+		b.Request(r.ID, 1)
+		_ = i
+	}
+	// Every resident object at the end must have had a future use when
+	// admitted; weak check: residency never exceeded capacity and misses
+	// equal at least unique count (since mostly singles).
+	if b.Len() > 100 {
+		t.Errorf("Len = %d > capacity", b.Len())
+	}
+}
+
+// TestLHDEvictsIdleOverHot: with a strong hot set, LHD should keep it.
+func TestLHDEvictsIdleOverHot(t *testing.T) {
+	p := NewLHD(100)
+	tr := workload.Generate(workload.Config{Objects: 1000, Requests: 60000, Alpha: 1.2}, 53)
+	missesLHD := replay(p, tr)
+	r, _ := New("random", 100)
+	missesRandom := replay(r, tr)
+	if missesLHD >= missesRandom {
+		t.Errorf("LHD (%d misses) should beat random (%d) on skewed workload", missesLHD, missesRandom)
+	}
+}

@@ -1,0 +1,229 @@
+package policy
+
+import "s3fifo/internal/sketch"
+
+import "s3fifo/internal/list"
+
+// TinyLFU implements W-TinyLFU (Einziger, Friedman & Manes, TOS'17) as
+// evaluated in §5.2: an LRU admission window (1% of capacity by default,
+// 10% for the "TinyLFU-0.1" variant), a count-min sketch with doorkeeper
+// estimating frequencies over a sliding window, and an SLRU main cache
+// (20% probation / 80% protected). Objects evicted from the window duel
+// the probation victim: the less frequent one is discarded.
+type TinyLFU struct {
+	base
+	window     *list.List
+	probation  *list.List
+	protected  *list.List
+	windowUsed uint64
+	windowCap  uint64
+	mainUsed   uint64
+	mainCap    uint64
+	protUsed   uint64
+	protCap    uint64
+	index      map[uint64]*tlfuEntry
+	cm         *sketch.CountMin
+	door       *sketch.Doorkeeper
+	demote     DemotionObserver
+}
+
+// SetDemotionObserver implements DemotionTracker: the admission window is
+// TinyLFU's probationary region.
+func (t *TinyLFU) SetDemotionObserver(o DemotionObserver) { t.demote = o }
+
+type tlfuRegion uint8
+
+const (
+	tlfuWindow tlfuRegion = iota
+	tlfuProbation
+	tlfuProtected
+)
+
+type tlfuEntry struct {
+	node   *list.Node
+	region tlfuRegion
+}
+
+// NewTinyLFU returns a W-TinyLFU cache with the given window fraction.
+func NewTinyLFU(capacity uint64, windowFrac float64) *TinyLFU {
+	name := "tinylfu"
+	if windowFrac >= 0.05 {
+		name = "tinylfu-0.1"
+	}
+	windowCap := uint64(float64(capacity) * windowFrac)
+	if windowCap < 1 {
+		windowCap = 1
+	}
+	if windowCap >= capacity {
+		windowCap = capacity - 1
+	}
+	mainCap := capacity - windowCap
+	protCap := mainCap * 8 / 10
+	entries := int(capacity)
+	if entries > 1<<21 {
+		entries = 1 << 21
+	}
+	return &TinyLFU{
+		base:      base{name: name, capacity: capacity},
+		window:    list.New(),
+		probation: list.New(),
+		protected: list.New(),
+		windowCap: windowCap,
+		mainCap:   mainCap,
+		protCap:   protCap,
+		index:     make(map[uint64]*tlfuEntry),
+		cm:        sketch.NewCountMin(entries),
+		door:      sketch.NewDoorkeeper(entries),
+	}
+}
+
+// frequency estimates key's recent popularity; the doorkeeper contributes
+// one count for keys it has absorbed.
+func (t *TinyLFU) frequency(key uint64) int {
+	f := int(t.cm.Estimate(key))
+	return f
+}
+
+// recordAccess feeds the frequency sketch through the doorkeeper.
+func (t *TinyLFU) recordAccess(key uint64) {
+	if t.door.Allow(key) {
+		t.cm.Add(key)
+	}
+}
+
+// Request implements Policy.
+func (t *TinyLFU) Request(key uint64, size uint32) bool {
+	t.clock++
+	t.recordAccess(key)
+	if e, ok := t.index[key]; ok {
+		e.node.Freq++
+		switch e.region {
+		case tlfuWindow:
+			t.window.MoveToFront(e.node)
+		case tlfuProbation:
+			t.probation.Remove(e.node)
+			t.protected.PushFront(e.node)
+			e.region = tlfuProtected
+			t.protUsed += uint64(e.node.Size)
+			t.demoteProtected()
+		case tlfuProtected:
+			t.protected.MoveToFront(e.node)
+		}
+		return true
+	}
+	if uint64(size) > t.capacity {
+		return false
+	}
+	n := &list.Node{Key: key, Size: size, Aux: int64(t.clock)}
+	t.index[key] = &tlfuEntry{node: n, region: tlfuWindow}
+	t.window.PushFront(n)
+	t.windowUsed += uint64(size)
+	t.used += uint64(size)
+	for t.windowUsed > t.windowCap {
+		t.overflowWindow()
+	}
+	return false
+}
+
+// demoteProtected pushes protected overflow back to probation.
+func (t *TinyLFU) demoteProtected() {
+	for t.protUsed > t.protCap {
+		n := t.protected.PopBack()
+		if n == nil {
+			return
+		}
+		t.protUsed -= uint64(n.Size)
+		t.probation.PushFront(n)
+		t.index[n.Key].region = tlfuProbation
+	}
+}
+
+// overflowWindow takes the window's LRU candidate and duels it against
+// main-cache victims by sketch frequency.
+func (t *TinyLFU) overflowWindow() {
+	cand := t.window.PopBack()
+	if cand == nil {
+		return
+	}
+	t.windowUsed -= uint64(cand.Size)
+	candFreq := t.frequency(cand.Key)
+	for t.mainUsed+uint64(cand.Size) > t.mainCap {
+		victim := t.probation.Back()
+		if victim == nil {
+			victim = t.protected.Back()
+		}
+		if victim == nil {
+			// Main cache degenerate (candidate bigger than main): drop it.
+			t.drop(cand)
+			return
+		}
+		if candFreq > t.frequency(victim.Key) {
+			t.evictMainVictim(victim)
+			continue
+		}
+		t.drop(cand)
+		return
+	}
+	t.probation.PushFront(cand)
+	t.index[cand.Key].region = tlfuProbation
+	t.mainUsed += uint64(cand.Size)
+	if t.demote != nil {
+		t.demote(Demotion{Key: cand.Key, Entered: uint64(cand.Aux), Left: t.clock, ToMain: true})
+	}
+}
+
+// evictMainVictim removes a main-cache resident entirely.
+func (t *TinyLFU) evictMainVictim(victim *list.Node) {
+	e := t.index[victim.Key]
+	if e.region == tlfuProtected {
+		t.protected.Remove(victim)
+		t.protUsed -= uint64(victim.Size)
+	} else {
+		t.probation.Remove(victim)
+	}
+	t.mainUsed -= uint64(victim.Size)
+	t.used -= uint64(victim.Size)
+	delete(t.index, victim.Key)
+	t.notify(victim.Key, victim.Size, int(victim.Freq), uint64(victim.Aux))
+}
+
+// drop discards a window candidate rejected by the admission duel.
+func (t *TinyLFU) drop(cand *list.Node) {
+	t.used -= uint64(cand.Size)
+	delete(t.index, cand.Key)
+	if t.demote != nil {
+		t.demote(Demotion{Key: cand.Key, Entered: uint64(cand.Aux), Left: t.clock, ToMain: false})
+	}
+	t.notify(cand.Key, cand.Size, int(cand.Freq), uint64(cand.Aux))
+}
+
+// Contains implements Policy.
+func (t *TinyLFU) Contains(key uint64) bool {
+	_, ok := t.index[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (t *TinyLFU) Delete(key uint64) {
+	e, ok := t.index[key]
+	if !ok {
+		return
+	}
+	switch e.region {
+	case tlfuWindow:
+		t.window.Remove(e.node)
+		t.windowUsed -= uint64(e.node.Size)
+	case tlfuProbation:
+		t.probation.Remove(e.node)
+		t.mainUsed -= uint64(e.node.Size)
+	case tlfuProtected:
+		t.protected.Remove(e.node)
+		t.protUsed -= uint64(e.node.Size)
+		t.mainUsed -= uint64(e.node.Size)
+	}
+	t.used -= uint64(e.node.Size)
+	delete(t.index, key)
+}
+
+// Len returns the number of cached objects.
+func (t *TinyLFU) Len() int { return len(t.index) }

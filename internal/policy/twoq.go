@@ -1,0 +1,118 @@
+package policy
+
+import "s3fifo/internal/list"
+
+// TwoQ implements the full 2Q algorithm (Johnson & Shasha, VLDB'94) with
+// the paper's parameters: a FIFO probationary queue A1in using 25% of the
+// cache space, a ghost queue A1out holding IDs of objects evicted from
+// A1in (sized to 50% of the cache in bytes), and an LRU main queue Am for
+// the rest. Objects evicted from A1in are NOT promoted to Am (unlike
+// S3-FIFO, as §5.2 highlights); only a later re-request through A1out
+// admits an object to Am.
+type TwoQ struct {
+	base
+	a1in  *list.List // FIFO, newest at front
+	am    *list.List // LRU
+	a1out *ghostList
+	index map[uint64]*twoQEntry
+
+	kin      uint64 // A1in byte quota
+	a1inUsed uint64
+}
+
+type twoQEntry struct {
+	node *list.Node
+	inAm bool
+}
+
+// New2Q returns a 2Q cache with Kin=25% and Kout=50% of capacity.
+func New2Q(capacity uint64) *TwoQ {
+	kin := capacity / 4
+	if kin < 1 {
+		kin = 1
+	}
+	return &TwoQ{
+		base:  base{name: "2q", capacity: capacity},
+		a1in:  list.New(),
+		am:    list.New(),
+		a1out: newGhostList(capacity / 2),
+		index: make(map[uint64]*twoQEntry),
+		kin:   kin,
+	}
+}
+
+// Request implements Policy.
+func (q *TwoQ) Request(key uint64, size uint32) bool {
+	q.clock++
+	if e, ok := q.index[key]; ok {
+		e.node.Freq++
+		if e.inAm {
+			q.am.MoveToFront(e.node)
+		}
+		// Hits in A1in do not reorder (it is a FIFO queue).
+		return true
+	}
+	if uint64(size) > q.capacity {
+		return false
+	}
+	for q.used+uint64(size) > q.capacity {
+		q.reclaim()
+	}
+	n := &list.Node{Key: key, Size: size, Aux: int64(q.clock)}
+	if q.a1out.contains(key) {
+		q.a1out.remove(key)
+		q.am.PushFront(n)
+		q.index[key] = &twoQEntry{node: n, inAm: true}
+	} else {
+		q.a1in.PushFront(n)
+		q.a1inUsed += uint64(size)
+		q.index[key] = &twoQEntry{node: n, inAm: false}
+	}
+	q.used += uint64(size)
+	return false
+}
+
+// reclaim frees space: if A1in is over its quota, its tail is evicted into
+// the A1out ghost; otherwise the Am LRU tail is evicted outright.
+func (q *TwoQ) reclaim() {
+	if q.a1inUsed > q.kin || q.am.Len() == 0 {
+		if n := q.a1in.PopBack(); n != nil {
+			q.a1inUsed -= uint64(n.Size)
+			q.used -= uint64(n.Size)
+			delete(q.index, n.Key)
+			q.a1out.push(n.Key, n.Size)
+			q.notify(n.Key, n.Size, int(n.Freq), uint64(n.Aux))
+			return
+		}
+	}
+	if n := q.am.PopBack(); n != nil {
+		q.used -= uint64(n.Size)
+		delete(q.index, n.Key)
+		q.notify(n.Key, n.Size, int(n.Freq), uint64(n.Aux))
+	}
+}
+
+// Contains implements Policy.
+func (q *TwoQ) Contains(key uint64) bool {
+	_, ok := q.index[key]
+	return ok
+}
+
+// Delete implements Policy.
+func (q *TwoQ) Delete(key uint64) {
+	e, ok := q.index[key]
+	if !ok {
+		return
+	}
+	if e.inAm {
+		q.am.Remove(e.node)
+	} else {
+		q.a1in.Remove(e.node)
+		q.a1inUsed -= uint64(e.node.Size)
+	}
+	q.used -= uint64(e.node.Size)
+	delete(q.index, key)
+}
+
+// Len returns the number of cached objects.
+func (q *TwoQ) Len() int { return len(q.index) }

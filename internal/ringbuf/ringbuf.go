@@ -1,0 +1,76 @@
+// Package ringbuf implements a growable ring-buffer FIFO queue of object
+// IDs. §4.2 of the paper describes ring buffers as the scalable,
+// low-metadata implementation choice for S3-FIFO's queues: each slot stores
+// an object ID (or a pointer) and eviction only bumps the tail index.
+//
+// Queue is the single-threaded variant used by the simulator; the
+// concurrent caches use their own atomic ring (internal/concurrent).
+package ringbuf
+
+// Queue is a FIFO queue of uint64 keys backed by a circular slice.
+// The zero value is an empty queue ready for use.
+type Queue struct {
+	buf  []uint64
+	head int // index of the oldest element
+	len  int
+}
+
+// NewQueue returns a queue with the given initial capacity hint.
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{buf: make([]uint64, capacity)}
+}
+
+// Len returns the number of queued keys.
+func (q *Queue) Len() int { return q.len }
+
+// Push appends key at the back (newest end) of the queue.
+func (q *Queue) Push(key uint64) {
+	if q.len == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.len)%len(q.buf)] = key
+	q.len++
+}
+
+// Pop removes and returns the oldest key. The second result is false when
+// the queue is empty.
+func (q *Queue) Pop() (uint64, bool) {
+	if q.len == 0 {
+		return 0, false
+	}
+	key := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.len--
+	return key, true
+}
+
+// Peek returns the oldest key without removing it.
+func (q *Queue) Peek() (uint64, bool) {
+	if q.len == 0 {
+		return 0, false
+	}
+	return q.buf[q.head], true
+}
+
+// At returns the i-th oldest key (0 = oldest). It panics when out of range.
+func (q *Queue) At(i int) uint64 {
+	if i < 0 || i >= q.len {
+		panic("ringbuf: index out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+func (q *Queue) grow() {
+	newCap := len(q.buf) * 2
+	if newCap == 0 {
+		newCap = 1
+	}
+	buf := make([]uint64, newCap)
+	n := copy(buf, q.buf[q.head:])
+	copy(buf[n:], q.buf[:q.head])
+	q.buf = buf
+	q.head = 0
+}

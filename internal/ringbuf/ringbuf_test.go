@@ -1,0 +1,129 @@
+package ringbuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty should return false")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty should return false")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewQueue(2)
+	for i := uint64(0); i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i := uint64(0); i < 10; i++ {
+		if k, ok := q.Peek(); !ok || k != i {
+			t.Fatalf("Peek = %d,%v, want %d", k, ok, i)
+		}
+		if k, ok := q.Pop(); !ok || k != i {
+			t.Fatalf("Pop = %d,%v, want %d", k, ok, i)
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	q := NewQueue(4)
+	for i := uint64(0); i < 6; i++ {
+		q.Push(i)
+	}
+	q.Pop()
+	q.Pop()
+	q.Push(100)
+	// Queue now: 2,3,4,5,100
+	want := []uint64{2, 3, 4, 5, 100}
+	for i, w := range want {
+		if got := q.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range should panic")
+		}
+	}()
+	q.At(5)
+}
+
+func TestGrowAfterWrap(t *testing.T) {
+	q := NewQueue(4)
+	for i := uint64(0); i < 4; i++ {
+		q.Push(i)
+	}
+	q.Pop() // head advances; internal wrap on next pushes
+	q.Push(4)
+	q.Push(5) // forces grow with head != 0
+	want := []uint64{1, 2, 3, 4, 5}
+	for _, w := range want {
+		if k, _ := q.Pop(); k != w {
+			t.Fatalf("Pop = %d, want %d", k, w)
+		}
+	}
+}
+
+func TestNewQueueClampsCapacity(t *testing.T) {
+	q := NewQueue(-5)
+	q.Push(1)
+	if k, ok := q.Pop(); !ok || k != 1 {
+		t.Errorf("Pop = %d,%v", k, ok)
+	}
+}
+
+// TestQuickModel compares against a slice model under random push/pop.
+func TestQuickModel(t *testing.T) {
+	f := func(ops []uint64) bool {
+		q := NewQueue(1)
+		var model []uint64
+		for _, op := range ops {
+			if op%3 == 0 && len(model) > 0 {
+				k, ok := q.Pop()
+				if !ok || k != model[0] {
+					return false
+				}
+				model = model[1:]
+			} else {
+				q.Push(op)
+				model = append(model, op)
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		for i, w := range model {
+			if q.At(i) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := NewQueue(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(uint64(i))
+		if i%2 == 1 {
+			q.Pop()
+			q.Pop()
+		}
+	}
+}

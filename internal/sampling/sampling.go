@@ -1,0 +1,98 @@
+// Package sampling implements SHARDS-style spatial sampling and
+// miss-ratio-curve construction (Waldspurger et al., FAST'15/ATC'17,
+// cited in §6.2.3 as the way to choose parameters without full-trace
+// simulation). Spatial sampling keeps a deterministic hash-selected
+// subset of the objects — all requests to a kept object are kept — and
+// simulates a cache scaled by the same rate; the miss ratio of the
+// downsized simulation estimates the full-trace miss ratio.
+package sampling
+
+import (
+	"fmt"
+
+	"s3fifo/internal/sim"
+	"s3fifo/internal/sketch"
+	"s3fifo/internal/trace"
+)
+
+// Sample returns the spatially sampled subset of tr: an object is kept
+// iff hash(id, seed) < rate·2^64, so either all or none of an object's
+// requests survive (the property reuse-distance estimation needs).
+func Sample(tr trace.Trace, rate float64, seed uint64) trace.Trace {
+	if rate >= 1 {
+		return tr
+	}
+	if rate <= 0 {
+		return nil
+	}
+	threshold := uint64(rate * float64(^uint64(0)))
+	out := make(trace.Trace, 0, int(float64(len(tr))*rate)+16)
+	for _, r := range tr {
+		if sketch.Hash(r.ID, seed) < threshold {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Point is one point on a miss-ratio curve.
+type Point struct {
+	// SizeFrac is the cache size as a fraction of the (full) trace
+	// footprint.
+	SizeFrac  float64
+	CacheSize uint64
+	MissRatio float64
+}
+
+// Config parameterizes MRC construction.
+type Config struct {
+	// Algorithm is any name sim.NewPolicy accepts.
+	Algorithm string
+	// SizeFracs are the cache sizes to evaluate (fractions of footprint).
+	SizeFracs []float64
+	// SampleRate, when in (0,1), runs downsized simulations on a spatial
+	// sample with cache sizes scaled by the same rate.
+	SampleRate float64
+	// Seed selects the sampled object subset.
+	Seed uint64
+}
+
+// MRC builds the miss-ratio curve of an algorithm over tr. With
+// SampleRate set it uses SHARDS-style downsizing: simulate the sampled
+// trace with rate-scaled cache sizes.
+func MRC(tr trace.Trace, cfg Config) ([]Point, error) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "s3fifo"
+	}
+	if len(cfg.SizeFracs) == 0 {
+		cfg.SizeFracs = []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.40}
+	}
+	fullFootprint := tr.UniqueObjects()
+	simTrace := tr
+	rate := 1.0
+	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
+		rate = cfg.SampleRate
+		simTrace = Sample(tr, rate, cfg.Seed)
+		if len(simTrace) == 0 {
+			return nil, fmt.Errorf("sampling: rate %g left no requests", rate)
+		}
+	}
+	points := make([]Point, 0, len(cfg.SizeFracs))
+	for _, frac := range cfg.SizeFracs {
+		capacity := uint64(float64(fullFootprint) * frac * rate)
+		if capacity < 1 {
+			capacity = 1
+		}
+		p, err := sim.NewPolicy(cfg.Algorithm, capacity, simTrace)
+		if err != nil {
+			return nil, err
+		}
+		res := sim.Run(p, simTrace)
+		points = append(points, Point{
+			SizeFrac:  frac,
+			CacheSize: uint64(float64(fullFootprint) * frac),
+			MissRatio: res.MissRatio(),
+		})
+	}
+	return points, nil
+}

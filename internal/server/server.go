@@ -1,0 +1,258 @@
+// Package server implements a memcached-style TCP cache server on top of
+// the public cache library — the kind of deployment (Memcached, Pelikan,
+// Cachelib services) the paper targets. The wire protocol is a compact
+// text protocol:
+//
+//	get <key>                    -> VALUE <key> <len>\r\n<bytes>\r\nEND  |  END
+//	set <key> <len> [ttl_sec]    -> (then <len> bytes + \r\n)  STORED | NOT_STORED
+//	delete <key>                 -> DELETED | NOT_FOUND
+//	stats                        -> STAT <name> <value> ... END
+//	quit                         -> closes the connection
+//
+// Keys are printable tokens up to 250 bytes (memcached's limit); values
+// up to 8 MiB. Errors respond with "ERROR <reason>" and keep the
+// connection usable.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"s3fifo/cache"
+)
+
+// Limits of the wire protocol.
+const (
+	MaxKeyLen   = 250
+	MaxValueLen = 8 << 20
+)
+
+// Server serves the cache protocol over TCP.
+type Server struct {
+	cache *cache.Cache
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// New returns a server around c.
+func New(c *cache.Cache) *Server {
+	return &Server{cache: c, conns: make(map[net.Conn]struct{})}
+}
+
+// Cache returns the underlying cache (for stats inspection).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Serve accepts connections on l until Close is called. It always returns
+// a non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Close stops accepting and closes all live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	return err
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.dropConn(conn)
+	r := bufio.NewReaderSize(conn, 16<<10)
+	w := bufio.NewWriterSize(conn, 16<<10)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		quit, err := s.dispatch(r, w, line)
+		if err != nil || quit {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// readLine reads a \r\n- or \n-terminated line without the terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// dispatch executes one command. Protocol errors are reported to the
+// client and are not fatal; I/O errors are.
+func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false, protoErr(w, "empty command")
+	}
+	switch fields[0] {
+	case "get":
+		if len(fields) != 2 {
+			return false, protoErr(w, "usage: get <key>")
+		}
+		if v, ok := s.cache.Get(fields[1]); ok {
+			fmt.Fprintf(w, "VALUE %s %d\r\n", fields[1], len(v))
+			w.Write(v)
+			w.WriteString("\r\n")
+		}
+		w.WriteString("END\r\n")
+		return false, nil
+
+	case "set":
+		if len(fields) != 3 && len(fields) != 4 {
+			return false, protoErr(w, "usage: set <key> <len> [ttl]")
+		}
+		key := fields[1]
+		if len(key) > MaxKeyLen {
+			return false, protoErr(w, "key too long")
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 || n > MaxValueLen {
+			return false, protoErr(w, "bad length")
+		}
+		var ttl time.Duration
+		if len(fields) == 4 {
+			secs, err := strconv.Atoi(fields[3])
+			if err != nil || secs < 0 {
+				return false, protoErr(w, "bad ttl")
+			}
+			ttl = time.Duration(secs) * time.Second
+		}
+		value := make([]byte, n)
+		if _, err := io.ReadFull(r, value); err != nil {
+			return true, err // payload truncated: connection unusable
+		}
+		if err := expectCRLF(r); err != nil {
+			return true, err
+		}
+		stored := false
+		if ttl > 0 {
+			stored = s.cache.SetWithTTL(key, value, ttl)
+		} else {
+			stored = s.cache.Set(key, value)
+		}
+		if stored {
+			w.WriteString("STORED\r\n")
+		} else {
+			w.WriteString("NOT_STORED\r\n")
+		}
+		return false, nil
+
+	case "delete":
+		if len(fields) != 2 {
+			return false, protoErr(w, "usage: delete <key>")
+		}
+		if s.cache.Contains(fields[1]) {
+			s.cache.Delete(fields[1])
+			w.WriteString("DELETED\r\n")
+		} else {
+			w.WriteString("NOT_FOUND\r\n")
+		}
+		return false, nil
+
+	case "stats":
+		st := s.cache.Stats()
+		fmt.Fprintf(w, "STAT hits %d\r\n", st.Hits)
+		fmt.Fprintf(w, "STAT misses %d\r\n", st.Misses)
+		fmt.Fprintf(w, "STAT sets %d\r\n", st.Sets)
+		fmt.Fprintf(w, "STAT evictions %d\r\n", st.Evictions)
+		fmt.Fprintf(w, "STAT expired %d\r\n", st.Expired)
+		fmt.Fprintf(w, "STAT entries %d\r\n", s.cache.Len())
+		fmt.Fprintf(w, "STAT bytes %d\r\n", s.cache.Used())
+		fmt.Fprintf(w, "STAT capacity %d\r\n", s.cache.Capacity())
+		w.WriteString("END\r\n")
+		return false, nil
+
+	case "quit":
+		return true, nil
+
+	default:
+		return false, protoErr(w, "unknown command "+fields[0])
+	}
+}
+
+// expectCRLF consumes the payload terminator (\r\n or \n).
+func expectCRLF(r *bufio.Reader) error {
+	b, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b == '\r' {
+		if b, err = r.ReadByte(); err != nil {
+			return err
+		}
+	}
+	if b != '\n' {
+		return errors.New("server: missing payload terminator")
+	}
+	return nil
+}
+
+// protoErr reports a recoverable protocol error to the client.
+func protoErr(w *bufio.Writer, reason string) error {
+	_, err := fmt.Fprintf(w, "ERROR %s\r\n", reason)
+	return err
+}

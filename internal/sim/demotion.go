@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"sort"
+
+	"s3fifo/internal/policy"
+	"s3fifo/internal/trace"
+)
+
+// DemotionResult carries the §6.1 quick-demotion metrics for one policy on
+// one trace.
+type DemotionResult struct {
+	Algorithm string
+	// Speed is the normalized quick-demotion speed: the mean LRU eviction
+	// age divided by the mean time objects spend in the probationary
+	// region (logical time in requests). Larger is faster.
+	Speed float64
+	// Precision is the fraction of demoted (not promoted) objects whose
+	// next reuse lies beyond cacheSize/missRatio requests — i.e. correct
+	// early evictions by the criterion of §6.1.
+	Precision float64
+	// MissRatio of the run.
+	MissRatio float64
+	// Demotions and Promotions count probationary exits.
+	Demotions, Promotions uint64
+}
+
+// nextUseIndex answers "when is key requested at/after request index i"
+// queries over a fixed trace.
+type nextUseIndex struct {
+	positions map[uint64][]uint64
+}
+
+func buildNextUseIndex(tr trace.Trace) *nextUseIndex {
+	idx := &nextUseIndex{positions: make(map[uint64][]uint64)}
+	clock := uint64(0)
+	for _, r := range tr {
+		if r.Op == trace.OpDelete {
+			continue
+		}
+		clock++ // matches the policies' logical clock (Get requests only)
+		idx.positions[r.ID] = append(idx.positions[r.ID], clock)
+	}
+	return idx
+}
+
+// next returns the first request time for key strictly after t, or 0 when
+// there is none.
+func (idx *nextUseIndex) next(key, t uint64) uint64 {
+	ps := idx.positions[key]
+	i := sort.Search(len(ps), func(i int) bool { return ps[i] > t })
+	if i == len(ps) {
+		return 0
+	}
+	return ps[i]
+}
+
+// LRUEvictionAge replays tr through LRU at the given capacity and returns
+// the mean eviction age in logical requests — the baseline used to
+// normalize demotion speed in Fig. 10.
+func LRUEvictionAge(capacity uint64, tr trace.Trace) float64 {
+	lru := policy.NewLRU(capacity)
+	var totalAge, n uint64
+	lru.SetObserver(func(ev policy.Eviction) {
+		totalAge += ev.EvictedAt - ev.InsertedAt
+		n++
+	})
+	for _, r := range tr {
+		if r.Op == trace.OpDelete {
+			lru.Delete(r.ID)
+			continue
+		}
+		lru.Request(r.ID, r.Size)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(totalAge) / float64(n)
+}
+
+// MeasureDemotion runs p (which must implement policy.DemotionTracker)
+// over tr and computes demotion speed and precision per §6.1. lruAge is
+// the LRU eviction age baseline from LRUEvictionAge (precomputed so
+// sweeps over many configurations reuse it).
+func MeasureDemotion(p policy.Policy, tr trace.Trace, lruAge float64) (DemotionResult, error) {
+	tracker, ok := p.(policy.DemotionTracker)
+	if !ok {
+		return DemotionResult{}, errNotTracker{p.Name()}
+	}
+	idx := buildNextUseIndex(tr)
+
+	var stayTotal float64
+	var stayCount uint64
+	type demoted struct {
+		key  uint64
+		left uint64
+	}
+	var demotions []demoted
+	var promotions uint64
+	tracker.SetDemotionObserver(func(d policy.Demotion) {
+		stayTotal += float64(d.Left - d.Entered)
+		stayCount++
+		if d.ToMain {
+			promotions++
+		} else {
+			demotions = append(demotions, demoted{key: d.Key, left: d.Left})
+		}
+	})
+	res := Run(p, tr)
+	tracker.SetDemotionObserver(nil)
+
+	out := DemotionResult{
+		Algorithm:  p.Name(),
+		MissRatio:  res.MissRatio(),
+		Demotions:  uint64(len(demotions)),
+		Promotions: promotions,
+	}
+	if stayCount > 0 && stayTotal > 0 && lruAge > 0 {
+		out.Speed = lruAge / (stayTotal / float64(stayCount))
+	}
+	if len(demotions) > 0 {
+		// Correct early eviction: next reuse farther than cacheSize/missRatio.
+		threshold := float64(p.Capacity())
+		if mr := res.MissRatio(); mr > 0 {
+			threshold = float64(p.Capacity()) / mr
+		}
+		correct := 0
+		for _, d := range demotions {
+			nxt := idx.next(d.key, d.left)
+			if nxt == 0 || float64(nxt-d.left) > threshold {
+				correct++
+			}
+		}
+		out.Precision = float64(correct) / float64(len(demotions))
+	}
+	return out, nil
+}
+
+type errNotTracker struct{ name string }
+
+func (e errNotTracker) Error() string {
+	return "sim: policy " + e.name + " does not expose demotion events"
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// OpenFile opens a trace file, auto-detecting the format from the name:
+//
+//	*.csv            CSV ("id,size,op")
+//	*.oracleGeneral  libCacheSim oracleGeneral records
+//	anything else    this repository's binary format
+//
+// A trailing ".gz" on any of the above is decompressed transparently.
+// The returned closer must be closed after the Reader is drained.
+func OpenFile(path string) (Reader, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var src io.Reader = f
+	closer := multiCloser{f}
+	name := path
+	if strings.HasSuffix(name, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		src = gz
+		closer = multiCloser{gz, f}
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	switch {
+	case strings.HasSuffix(name, ".csv"):
+		return NewCSVReader(src), closer, nil
+	case strings.HasSuffix(name, ".oracleGeneral"), strings.HasSuffix(name, ".oracle"):
+		return NewOracleReader(src), closer, nil
+	default:
+		return NewBinaryReader(src), closer, nil
+	}
+}
+
+// LoadFile reads a whole trace file into memory via OpenFile.
+func LoadFile(path string) (Trace, error) {
+	r, closer, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	return ReadAll(r)
+}
+
+// multiCloser closes its members in order.
+type multiCloser []io.Closer
+
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleTrace() Trace {
+	return Trace{
+		{ID: 1, Size: 100, Op: OpGet},
+		{ID: 2, Size: 4096, Op: OpGet},
+		{ID: 1, Size: 100, Op: OpGet},
+	}
+}
+
+func TestOracleRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewOracleWriter(&buf)
+	for _, r := range sampleTrace() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 3*oracleRecordSize {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), 3*oracleRecordSize)
+	}
+	got, err := ReadAll(NewOracleReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleTrace()) {
+		t.Errorf("round trip: %v", got)
+	}
+}
+
+func TestOracleZeroSizeBecomesUnit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewOracleWriter(&buf)
+	w.Write(Request{ID: 9, Size: 0})
+	got, err := ReadAll(NewOracleReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Size != 1 {
+		t.Errorf("zero size should decode as 1, got %d", got[0].Size)
+	}
+}
+
+func TestOracleTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewOracleWriter(&buf)
+	w.Write(Request{ID: 1, Size: 1})
+	data := buf.Bytes()[:oracleRecordSize-5]
+	if _, err := ReadAll(NewOracleReader(bytes.NewReader(data))); err == nil {
+		t.Error("truncated record should error")
+	}
+}
+
+// TestOpenFileFormats verifies extension-based dispatch including gzip.
+func TestOpenFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	tr := sampleTrace()
+
+	write := func(name string, encode func(w *os.File)) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encode(f)
+		f.Close()
+		return path
+	}
+
+	binPath := write("t.bin", func(f *os.File) {
+		w := NewBinaryWriter(f)
+		for _, r := range tr {
+			w.Write(r)
+		}
+		w.Flush()
+	})
+	csvPath := write("t.csv", func(f *os.File) {
+		w := NewCSVWriter(f)
+		for _, r := range tr {
+			w.Write(r)
+		}
+		w.Flush()
+	})
+	oraclePath := write("t.oracleGeneral", func(f *os.File) {
+		w := NewOracleWriter(f)
+		for _, r := range tr {
+			w.Write(r)
+		}
+	})
+	gzPath := write("t.oracleGeneral.gz", func(f *os.File) {
+		gz := gzip.NewWriter(f)
+		w := NewOracleWriter(gz)
+		for _, r := range tr {
+			w.Write(r)
+		}
+		gz.Close()
+	})
+
+	for _, path := range []string{binPath, csvPath, oraclePath, gzPath} {
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", path, err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Errorf("LoadFile(%s) = %v", path, got)
+		}
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("missing file should error")
+	}
+	// A .gz file with garbage content.
+	path := filepath.Join(t.TempDir(), "bad.bin.gz")
+	os.WriteFile(path, []byte("not gzip"), 0o644)
+	if _, err := LoadFile(path); err == nil {
+		t.Error("bad gzip should error")
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryReader feeds arbitrary bytes to the binary decoder: it must
+// never panic, and any trace it accepts must re-encode losslessly.
+func FuzzBinaryReader(f *testing.F) {
+	// Seed with a valid two-record trace and some corruptions of it.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	w.Write(Request{ID: 1, Size: 100, Op: OpGet})
+	w.Write(Request{ID: 2, Size: 4096, Op: OpDelete})
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2]) // truncated record
+	f.Add([]byte("S3T1"))       // header only
+	f.Add([]byte("BAD!data"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadAll(NewBinaryReader(bytes.NewReader(data)))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Round-trip what was accepted.
+		var out bytes.Buffer
+		w := NewBinaryWriter(&out)
+		for _, r := range tr {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := ReadAll(NewBinaryReader(&out))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(tr2) != len(tr) {
+			t.Fatalf("round trip changed length: %d -> %d", len(tr), len(tr2))
+		}
+		for i := range tr {
+			if tr[i] != tr2[i] {
+				t.Fatalf("record %d changed: %v -> %v", i, tr[i], tr2[i])
+			}
+		}
+	})
+}
+
+// FuzzCSVReader: arbitrary text must never panic the CSV decoder, and
+// accepted traces must round-trip through the writer.
+func FuzzCSVReader(f *testing.F) {
+	f.Add("1,100,get\n2,1,delete\n")
+	f.Add("# comment\n\n7\n8,\n9,512\n")
+	f.Add("notanumber\n")
+	f.Add("1,1,frobnicate\n")
+	f.Add("")
+	f.Add("1," + string(rune(0)) + "\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadAll(NewCSVReader(bytes.NewBufferString(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		w := NewCSVWriter(&out)
+		for _, r := range tr {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := ReadAll(NewCSVReader(&out))
+		if err != nil {
+			t.Fatalf("re-decode of own output: %v", err)
+		}
+		if len(tr2) != len(tr) {
+			t.Fatalf("round trip changed length: %d -> %d", len(tr), len(tr2))
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// OracleGeneral is libCacheSim's oracleGeneral binary trace format — the
+// format the paper's open-sourced trace collection is distributed in.
+// Each request is a fixed 24-byte little-endian record:
+//
+//	uint32 clock_time   (seconds)
+//	uint64 obj_id
+//	uint32 obj_size     (bytes)
+//	int64  next_access_vtime (-1 = never; ignored here — Belady recomputes)
+//
+// There is no header or magic; the format is identified by file name
+// convention (".oracleGeneral", possibly ".zst"/".gz" compressed — gzip is
+// handled by ReadFile, zstd is not stdlib and must be decompressed first).
+const oracleRecordSize = 24
+
+// OracleReader decodes oracleGeneral records.
+type OracleReader struct {
+	r   io.Reader
+	buf [oracleRecordSize]byte
+}
+
+// NewOracleReader returns a Reader decoding oracleGeneral from r.
+func NewOracleReader(r io.Reader) *OracleReader { return &OracleReader{r: r} }
+
+// Read returns the next request or io.EOF.
+func (or *OracleReader) Read() (Request, error) {
+	if _, err := io.ReadFull(or.r, or.buf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Request{}, fmt.Errorf("trace: truncated oracleGeneral record")
+		}
+		return Request{}, err
+	}
+	size := binary.LittleEndian.Uint32(or.buf[12:16])
+	if size == 0 {
+		size = 1 // some traces carry zero sizes; treat as unit objects
+	}
+	return Request{
+		ID:   binary.LittleEndian.Uint64(or.buf[4:12]),
+		Size: size,
+		Op:   OpGet,
+	}, nil
+}
+
+// OracleWriter encodes requests as oracleGeneral records. Timestamps are
+// synthesized as a request counter (1 per request); the next-access field
+// is written as -1 (unknown) — consumers that need the oracle column
+// should recompute it, as this repository's Belady does.
+type OracleWriter struct {
+	w     io.Writer
+	buf   [oracleRecordSize]byte
+	clock uint32
+}
+
+// NewOracleWriter returns an oracleGeneral writer.
+func NewOracleWriter(w io.Writer) *OracleWriter { return &OracleWriter{w: w} }
+
+// Write appends one request.
+func (ow *OracleWriter) Write(r Request) error {
+	ow.clock++
+	binary.LittleEndian.PutUint32(ow.buf[0:4], ow.clock)
+	binary.LittleEndian.PutUint64(ow.buf[4:12], r.ID)
+	binary.LittleEndian.PutUint32(ow.buf[12:16], r.Size)
+	binary.LittleEndian.PutUint64(ow.buf[16:24], ^uint64(0)) // -1
+	_, err := ow.w.Write(ow.buf[:])
+	return err
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"s3fifo/internal/trace"
+)
+
+// Config parameterizes a synthetic trace. The defaults (zero values) give a
+// unit-size pure-Zipf IRM trace.
+type Config struct {
+	// Objects is the number of distinct cacheable objects (Zipf ranks).
+	Objects int
+	// Requests is the trace length in requests.
+	Requests int
+	// Alpha is the Zipf skew (0 = uniform).
+	Alpha float64
+
+	// OneHitFraction is the fraction of requests that go to fresh,
+	// never-reused object IDs — the one-hit wonders that dominate CDN
+	// and object-cache workloads (§3.1, Table 1).
+	OneHitFraction float64
+	// ScanFraction is the fraction of requests replaced by sequential
+	// one-time scans over fresh object IDs (block-workload pollution).
+	ScanFraction float64
+	// ScanLength is the number of requests per scan burst (default 256).
+	ScanLength int
+	// LoopFraction is the fraction of requests replaced by repeated loops
+	// over a fixed working set slightly larger than typical cache sizes.
+	LoopFraction float64
+	// LoopLength is the loop working-set size (default 4·ScanLength).
+	LoopLength int
+
+	// TemporalBias in [0,1) is the probability that a request re-references
+	// a recently used object (drawn from an LRU-stack model with geometric
+	// depth) instead of sampling the IRM distribution. This produces the
+	// temporal locality real traces show beyond pure popularity skew.
+	TemporalBias float64
+	// TemporalDepth is the mean stack depth of temporal re-references
+	// (default 512). Small values model tight reuse (KV caches); large
+	// values model loose reuse (block storage).
+	TemporalDepth float64
+
+	// TwoHit, when set, replaces the whole trace with the adversarial
+	// pattern of §5.2: every object is requested exactly twice with a gap
+	// of TwoHitGap requests between the two accesses.
+	TwoHit    bool
+	TwoHitGap int
+
+	// DeleteFraction is the fraction of requests that are OpDelete of a
+	// recently requested object.
+	DeleteFraction float64
+
+	// MeanSize is the mean object size in bytes; sizes are lognormal with
+	// shape SizeSigma. MeanSize = 0 produces unit-size objects.
+	MeanSize  float64
+	SizeSigma float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Objects < 1 {
+		c.Objects = 1
+	}
+	if c.Requests < 1 {
+		c.Requests = 1
+	}
+	if c.ScanLength <= 0 {
+		c.ScanLength = 256
+	}
+	if c.LoopLength <= 0 {
+		c.LoopLength = 4 * c.ScanLength
+	}
+	if c.TwoHitGap <= 0 {
+		c.TwoHitGap = 1000
+	}
+	if c.TemporalDepth <= 0 {
+		c.TemporalDepth = 512
+	}
+	return c
+}
+
+// scanIDBase offsets scan/loop object IDs so they never collide with the
+// Zipf object ID space.
+const scanIDBase uint64 = 1 << 40
+
+// sizer draws object sizes. Each distinct object has a stable size: sizes
+// are derived deterministically from the object ID, not from generation
+// order.
+type sizer struct {
+	mean, sigma float64
+}
+
+func (s sizer) size(id uint64, rng *rand.Rand) uint32 {
+	if s.mean <= 0 {
+		return 1
+	}
+	// Deterministic per-object lognormal: use the ID to seed a small PRNG
+	// step so the same object always has the same size.
+	u := rand.New(rand.NewSource(int64(id) ^ 0x5EED))
+	mu := math.Log(s.mean) - s.sigma*s.sigma/2
+	v := math.Exp(mu + s.sigma*u.NormFloat64())
+	if v < 1 {
+		v = 1
+	}
+	if v > math.MaxUint32 {
+		v = math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// Generate builds a trace from cfg using the given seed. The same (cfg,
+// seed) pair always yields the same trace.
+func Generate(cfg Config, seed int64) trace.Trace {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	sz := sizer{cfg.MeanSize, cfg.SizeSigma}
+
+	if cfg.TwoHit {
+		return generateTwoHit(cfg, rng, sz)
+	}
+
+	zipf := NewZipf(rng, cfg.Alpha, cfg.Objects)
+	out := make(trace.Trace, 0, cfg.Requests)
+
+	// Recency ring for the temporal-locality model: the most recent
+	// stackCap references in order, newest last.
+	const stackCap = 4096
+	ring := make([]uint64, stackCap)
+	ringLen, ringPos := 0, 0
+	pushRecent := func(id uint64) {
+		ring[ringPos] = id
+		ringPos = (ringPos + 1) % stackCap
+		if ringLen < stackCap {
+			ringLen++
+		}
+	}
+	// recentAt returns the id referenced depth requests ago (0 = newest).
+	recentAt := func(depth int) uint64 {
+		if depth >= ringLen {
+			depth = ringLen - 1
+		}
+		return ring[(ringPos-1-depth+2*stackCap)%stackCap]
+	}
+
+	scanNext := scanIDBase
+	loopBase := scanIDBase + (1 << 30)
+	oneHitNext := scanIDBase + (2 << 30)
+
+	emit := func(r trace.Request) {
+		out = append(out, r)
+	}
+
+	// Scan and loop branches emit whole bursts, so their per-roll
+	// probability is scaled down by the burst length to make Scan/Loop
+	// fractions per-request shares.
+	tOneHit := cfg.OneHitFraction
+	tScan := tOneHit + cfg.ScanFraction/float64(cfg.ScanLength)
+	tLoop := tScan + cfg.LoopFraction/float64(cfg.LoopLength)
+	tDelete := tLoop + cfg.DeleteFraction
+	tTemporal := tDelete + cfg.TemporalBias
+	for len(out) < cfg.Requests {
+		roll := rng.Float64()
+		switch {
+		case roll < tOneHit:
+			id := oneHitNext
+			oneHitNext++
+			emit(trace.Request{ID: id, Size: sz.size(id, rng), Op: trace.OpGet})
+		case roll < tScan:
+			// A scan burst: sequential one-time IDs.
+			n := cfg.ScanLength
+			if remain := cfg.Requests - len(out); n > remain {
+				n = remain
+			}
+			for i := 0; i < n; i++ {
+				id := scanNext
+				scanNext++
+				emit(trace.Request{ID: id, Size: sz.size(id, rng), Op: trace.OpGet})
+			}
+		case roll < tLoop:
+			// A loop burst: walk a fixed working set once.
+			n := cfg.LoopLength
+			if remain := cfg.Requests - len(out); n > remain {
+				n = remain
+			}
+			start := rng.Intn(4) * cfg.LoopLength // a few distinct loops
+			for i := 0; i < n; i++ {
+				id := loopBase + uint64(start+i%cfg.LoopLength)
+				emit(trace.Request{ID: id, Size: sz.size(id, rng), Op: trace.OpGet})
+			}
+		case roll < tDelete && ringLen > 0:
+			id := recentAt(rng.Intn(ringLen))
+			emit(trace.Request{ID: id, Size: sz.size(id, rng), Op: trace.OpDelete})
+		case roll < tTemporal && ringLen > 0:
+			// Re-reference a recent object with geometric depth preference.
+			id := recentAt(int(rng.ExpFloat64() * cfg.TemporalDepth))
+			pushRecent(id)
+			emit(trace.Request{ID: id, Size: sz.size(id, rng), Op: trace.OpGet})
+		default:
+			id := uint64(zipf.Sample())
+			pushRecent(id)
+			emit(trace.Request{ID: id, Size: sz.size(id, rng), Op: trace.OpGet})
+		}
+	}
+	return out[:cfg.Requests]
+}
+
+// generateTwoHit emits the adversarial pattern from §5.2: a stream where
+// every object is requested exactly twice, the second time TwoHitGap
+// requests after the first. Algorithms that quarantine new objects in a
+// partition smaller than the gap miss every second request.
+func generateTwoHit(cfg Config, rng *rand.Rand, sz sizer) trace.Trace {
+	out := make(trace.Trace, 0, cfg.Requests)
+	type pending struct {
+		at int
+		id uint64
+	}
+	var queue []pending
+	next := uint64(0)
+	for i := 0; len(out) < cfg.Requests; i++ {
+		if len(queue) > 0 && queue[0].at <= i {
+			p := queue[0]
+			queue = queue[1:]
+			out = append(out, trace.Request{ID: p.id, Size: sz.size(p.id, rng), Op: trace.OpGet})
+			continue
+		}
+		id := next
+		next++
+		queue = append(queue, pending{at: i + cfg.TwoHitGap, id: id})
+		out = append(out, trace.Request{ID: id, Size: sz.size(id, rng), Op: trace.OpGet})
+	}
+	return out[:cfg.Requests]
+}
