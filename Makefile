@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test test-race tier1 bench throughput
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-sensitive packages: the sharded
+# concurrent S3-FIFO (miss-path shards, tombstone ring, batched eviction)
+# and the lock-free primitives it builds on. Includes the Get/Set/Delete
+# stress test (TestStressInvariants).
+test-race:
+	$(GO) test -race ./internal/concurrent/... ./internal/lockfree/...
+
+# Tier-1 verification: everything must build, the full suite must pass,
+# and the concurrent packages must be race-clean.
+tier1: build test test-race
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Fig. 8 shard/thread sweep; writes BENCH_concurrent.json.
+throughput:
+	$(GO) run ./cmd/throughput

@@ -1,59 +1,131 @@
 // Command throughput reproduces Fig. 8: closed-loop throughput scaling of
 // the concurrent caches (strict LRU, optimized LRU, TinyLFU, Segcache,
 // S3-FIFO) on a Zipf α=1.0 workload, at a large cache (low miss ratio)
-// and a small cache (high miss ratio).
+// and a small cache (high miss ratio). It also sweeps the S3-FIFO
+// queue-shard count and reports sampled per-op latency percentiles, and
+// writes the full result matrix as JSON so successive revisions have a
+// perf trajectory to regress against.
 //
-//	throughput -objects 200000 -ops 2000000 -threads 1,2,4,8,16
+//	throughput -objects 200000 -ops 2000000 -threads 1,2,4,8,16 \
+//	    -shards 1,2,4,8 -json BENCH_concurrent.json
 //
 // Thread counts above GOMAXPROCS measure oversubscription, not scaling;
 // the default sweep stops at the machine's core count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"s3fifo/internal/concurrent"
 	"s3fifo/internal/harness"
 )
+
+// benchRow is one (cache, cache size, threads, shards) measurement in the
+// JSON trajectory file.
+type benchRow struct {
+	Cache     string  `json:"cache"`
+	CacheMode string  `json:"cache_mode"` // "large" (objects/10) or "small" (objects/100)
+	Threads   int     `json:"threads"`
+	Shards    int     `json:"shards,omitempty"` // 0 = not applicable / default
+	Mops      float64 `json:"mops"`
+	HitRatio  float64 `json:"hit_ratio"`
+	P50Ns     int64   `json:"p50_ns"`
+	P99Ns     int64   `json:"p99_ns"`
+	P999Ns    int64   `json:"p999_ns"`
+}
+
+// benchFile is the BENCH_concurrent.json layout.
+type benchFile struct {
+	Objects      int        `json:"objects"`
+	OpsPerThread int        `json:"ops_per_thread"`
+	Note         string     `json:"note"`
+	Rows         []benchRow `json:"rows"`
+}
+
+func parseInts(flagName, s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "throughput: bad -%s value %q\n", flagName, part)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
 
 func main() {
 	objects := flag.Int("objects", 200_000, "distinct objects in the workload")
 	ops := flag.Int("ops", 2_000_000, "operations per measurement")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,16 capped at NumCPU)")
+	shardsFlag := flag.String("shards", "1,2,4,8", "comma-separated S3-FIFO queue-shard counts to sweep (empty disables)")
+	jsonPath := flag.String("json", "BENCH_concurrent.json", "write the result matrix as JSON to this path (empty disables)")
 	flag.Parse()
 
-	var threads []int
-	if *threadsFlag != "" {
-		for _, part := range strings.Split(*threadsFlag, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "throughput: bad thread count %q\n", part)
-				os.Exit(2)
-			}
-			threads = append(threads, n)
-		}
-	}
+	threads := parseInts("threads", *threadsFlag)
+	shards := parseInts("shards", *shardsFlag)
 
+	out := benchFile{
+		Objects:      *objects,
+		OpsPerThread: *ops,
+		Note: "closed-loop Zipf α=1.0 replay (Fig. 8); latency percentiles " +
+			"are sampled 1-in-16 ops and reported at log2-bucket resolution",
+	}
 	for _, large := range []bool{true, false} {
-		label := "large cache (objects/10)"
+		label, mode := "large cache (objects/10)", "large"
 		if !large {
-			label = "small cache (objects/100)"
+			label, mode = "small cache (objects/100)", "small"
 		}
 		fmt.Printf("==== Fig. 8 — %s ====\n", label)
 		rows, err := harness.Fig8(harness.Fig8Config{
-			Objects: *objects, OpsPerThread: *ops, Threads: threads, LargeCache: large,
+			Objects: *objects, OpsPerThread: *ops, Threads: threads,
+			LargeCache: large, Shards: shards,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "throughput:", err)
 			os.Exit(1)
 		}
-		fmt.Println("cache          threads  Mops/s   hit-ratio")
+		fmt.Println("cache          threads  shards   Mops/s   hit-ratio      p50      p99     p999")
 		for _, r := range rows {
-			fmt.Printf("%-14s %7d  %7.2f  %.4f\n", r.Cache, r.Threads, r.Throughput(), r.HitRatio())
+			fmt.Printf("%-14s %7d  %6s  %7.2f  %.4f  %9v %8v %8v\n",
+				r.Cache, r.Threads, shardLabel(r), r.Throughput(), r.HitRatio(),
+				r.P50(), r.P99(), r.P999())
+			out.Rows = append(out.Rows, benchRow{
+				Cache: r.Cache, CacheMode: mode, Threads: r.Threads,
+				Shards: r.Shards, Mops: r.Throughput(), HitRatio: r.HitRatio(),
+				P50Ns: r.P50().Nanoseconds(), P99Ns: r.P99().Nanoseconds(),
+				P999Ns: r.P999().Nanoseconds(),
+			})
 		}
 		fmt.Println()
 	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *jsonPath, len(out.Rows))
+	}
+}
+
+func shardLabel(r concurrent.ReplayResult) string {
+	if r.Shards == 0 {
+		return "-"
+	}
+	return strconv.Itoa(r.Shards)
 }

@@ -38,13 +38,18 @@ type Cache interface {
 // numShards for the sharded index. Power of two.
 const numShards = 64
 
-// shardFor picks the index shard for a key (mixed so sequential keys
-// spread).
-func shardFor(key uint64) uint64 {
+// mix64 is the 64-bit avalanche finalizer shared by the index shards and
+// the S3-FIFO queue shards, so sequential keys spread over both.
+func mix64(key uint64) uint64 {
 	key ^= key >> 33
 	key *= 0xff51afd7ed558ccd
 	key ^= key >> 33
-	return key & (numShards - 1)
+	return key
+}
+
+// shardFor picks the index shard for a key.
+func shardFor(key uint64) uint64 {
+	return mix64(key) & (numShards - 1)
 }
 
 // shardedIndex is a hash index with per-shard RW locks: the read path of
@@ -93,11 +98,12 @@ func (idx *shardedIndex[V]) delete(key uint64) {
 func (idx *shardedIndex[V]) putIfAbsent(key uint64, v V) (V, bool) {
 	s := &idx.shards[shardFor(key)]
 	s.Lock()
-	defer s.Unlock()
 	if old, ok := s.m[key]; ok {
+		s.Unlock()
 		return old, true
 	}
 	s.m[key] = v
+	s.Unlock()
 	var zero V
 	return zero, false
 }

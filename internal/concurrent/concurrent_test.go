@@ -139,6 +139,59 @@ func TestS3FIFOMissRatioMatchesSimulator(t *testing.T) {
 	}
 }
 
+// TestSetResetsFrequencyOnReplace: overwriting a resident key must reset
+// its frequency counter so the replacement re-earns reinsertion, matching
+// the simulator's treatment of a new value as a new object.
+func TestSetResetsFrequencyOnReplace(t *testing.T) {
+	c := NewS3FIFO(100)
+	c.Set(1, []byte("a"))
+	for i := 0; i < 5; i++ {
+		c.Get(1)
+	}
+	e, ok := c.index.get(1)
+	if !ok || e.freq.Load() == 0 {
+		t.Fatalf("setup: entry missing or frequency not raised (freq=%d)", e.freq.Load())
+	}
+	c.Set(1, []byte("b"))
+	if got := e.freq.Load(); got != 0 {
+		t.Errorf("freq after in-place replace = %d, want 0", got)
+	}
+	if v, _ := c.Get(1); string(v) != "b" {
+		t.Errorf("value after replace = %q", v)
+	}
+}
+
+// TestWarmParallelMatchesSerial: the parallelized Warm must produce the
+// same resident set as a serial on-demand fill (workers partition the key
+// space, so per-key ordering is preserved).
+func TestWarmParallelMatchesSerial(t *testing.T) {
+	w := NewZipfWorkload(5000, 100000, 1.0, 8, 13)
+	serial := NewS3FIFOSharded(500, 4)
+	warmRange(serial, w, 0, ^uint64(0))
+	parallel := NewS3FIFOSharded(500, 4)
+	Warm(parallel, w)
+	if sl, pl := serial.Len(), parallel.Len(); absI(sl-pl) > sl/10 {
+		t.Errorf("parallel warm Len %d far from serial %d", pl, sl)
+	}
+	// The hot head of the Zipf distribution must be resident either way.
+	missingHot := 0
+	for k := uint64(0); k < 20; k++ {
+		if _, ok := parallel.Get(k); !ok {
+			missingHot++
+		}
+	}
+	if missingHot > 2 {
+		t.Errorf("%d of the 20 hottest keys missing after parallel warm", missingHot)
+	}
+}
+
+func absI(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
 func TestWorkloadAndWarm(t *testing.T) {
 	w := NewZipfWorkload(1000, 10000, 1.0, 16, 7)
 	if len(w.Keys) != 10000 || len(w.Value) != 16 {

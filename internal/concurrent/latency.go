@@ -1,0 +1,72 @@
+package concurrent
+
+import (
+	"math/bits"
+	"time"
+)
+
+// LatencyHist is a fixed-size log₂ histogram of operation latencies in
+// nanoseconds. Bucket i counts observations in [2^(i-1), 2^i) ns (bucket 0
+// counts sub-nanosecond readings), so recording is a bit-length plus an
+// increment: no allocations, no floating point, safe to keep per-goroutine
+// on the benchmark hot path and merge afterwards.
+type LatencyHist struct {
+	Counts [64]uint64
+}
+
+// Observe records one latency sample. Negative durations (clock steps)
+// count as zero.
+func (h *LatencyHist) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.Counts[bits.Len64(uint64(ns))]++
+}
+
+// Merge adds o's counts into h.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+}
+
+// Total returns the number of recorded samples.
+func (h *LatencyHist) Total() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns the latency at quantile q in [0, 1], reported as the
+// upper bound of the bucket containing it (conservative by at most 2×,
+// which is the histogram's resolution). Returns 0 when empty.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > rank {
+			if i >= 63 {
+				return time.Duration(int64(^uint64(0) >> 1))
+			}
+			return time.Duration(uint64(1) << uint(i))
+		}
+	}
+	return 0
+}

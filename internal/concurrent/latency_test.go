@@ -1,0 +1,72 @@
+package concurrent
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+	// 90 fast ops (~100ns), 9 medium (~10µs), 1 slow (~1ms).
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	h.Observe(1 * time.Millisecond)
+	if got := h.Total(); got != 100 {
+		t.Fatalf("Total = %d", got)
+	}
+	// Buckets are powers of two: 100ns lands in (64,128], reported as 128ns.
+	if p50 := h.Quantile(0.50); p50 != 128*time.Nanosecond {
+		t.Errorf("p50 = %v, want 128ns", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 8*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, out of expected range", p99)
+	}
+	if p999 := h.Quantile(0.999); p999 < 512*time.Microsecond {
+		t.Errorf("p999 = %v, should capture the 1ms outlier", p999)
+	}
+	var other LatencyHist
+	other.Observe(100 * time.Nanosecond)
+	other.Merge(&h)
+	if other.Total() != 101 {
+		t.Errorf("merged Total = %d", other.Total())
+	}
+	// Monotone in q.
+	if other.Quantile(0.1) > other.Quantile(0.9) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestLatencyHistObserveNegative(t *testing.T) {
+	var h LatencyHist
+	h.Observe(-time.Second)
+	if h.Counts[0] != 1 {
+		t.Error("negative duration should count as zero")
+	}
+}
+
+func TestReplayReportsLatency(t *testing.T) {
+	w := NewZipfWorkload(1000, 10000, 1.0, 16, 3)
+	c := NewS3FIFO(100)
+	Warm(c, w)
+	r := Replay(c, w, 2, 4000)
+	if r.Latency.Total() == 0 {
+		t.Fatal("replay recorded no latency samples")
+	}
+	// 1-in-16 sampling of 8000 ops → ~500 samples.
+	if got := r.Latency.Total(); got < 400 || got > 1000 {
+		t.Errorf("sample count = %d, want ~500", got)
+	}
+	if r.P50() <= 0 || r.P99() < r.P50() || r.P999() < r.P99() {
+		t.Errorf("percentiles not sane: p50=%v p99=%v p999=%v", r.P50(), r.P99(), r.P999())
+	}
+	if r.Shards == 0 {
+		t.Error("s3fifo replay should report its shard count")
+	}
+}

@@ -3,6 +3,7 @@ package concurrent
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -40,10 +41,24 @@ func Names() []string {
 type ReplayResult struct {
 	Cache   string
 	Threads int
+	// Shards is the queue-shard count for caches that expose one
+	// (concurrent S3-FIFO); 0 when not applicable.
+	Shards  int
 	Ops     uint64
 	Elapsed time.Duration
 	Hits    uint64
+	// Latency holds sampled per-op latencies (one op in latSamplePeriod).
+	Latency LatencyHist
 }
+
+// P50 returns the sampled median per-op latency.
+func (r ReplayResult) P50() time.Duration { return r.Latency.Quantile(0.50) }
+
+// P99 returns the sampled 99th-percentile per-op latency.
+func (r ReplayResult) P99() time.Duration { return r.Latency.Quantile(0.99) }
+
+// P999 returns the sampled 99.9th-percentile per-op latency.
+func (r ReplayResult) P999() time.Duration { return r.Latency.Quantile(0.999) }
 
 // Throughput returns million operations per second.
 func (r ReplayResult) Throughput() float64 {
@@ -84,27 +99,75 @@ func NewZipfWorkload(objects, n int, alpha float64, valueSize int, seed int64) *
 	return &Workload{Keys: keys, Value: value}
 }
 
-// Warm pre-populates the cache by replaying the workload once from one
-// goroutine (on-demand fill), so measurements start from a steady state.
+// Warm pre-populates the cache by replaying the workload once (on-demand
+// fill), so measurements start from a steady state. The replay is
+// parallelized across workers partitioned by key range — each key is owned
+// by exactly one worker, so the per-key get-then-set never races with
+// itself and the fill matches a serial replay up to interleaving.
 func Warm(c Cache, w *Workload) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 16 {
+		workers = 16
+	}
+	if workers < 2 || len(w.Keys) < 1<<14 {
+		warmRange(c, w, 0, ^uint64(0))
+		return
+	}
+	var maxKey uint64
 	for _, k := range w.Keys {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	// span*workers > maxKey, so the worker ranges tile the full key space.
+	span := maxKey/uint64(workers) + 1
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo := uint64(i) * span
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			warmRange(c, w, lo, lo+span)
+		}()
+	}
+	wg.Wait()
+}
+
+// warmRange fills keys in [lo, hi).
+func warmRange(c Cache, w *Workload, lo, hi uint64) {
+	for _, k := range w.Keys {
+		if k < lo || k >= hi {
+			continue
+		}
 		if _, ok := c.Get(k); !ok {
 			c.Set(k, w.Value)
 		}
 	}
 }
 
+// latSamplePeriod is the per-op latency sampling period: one op in 16 is
+// timed. Sampling keeps the two clock reads off most iterations so the
+// throughput measurement stays honest while the histogram still sees
+// thousands of samples per thread.
+const latSamplePeriod = 16
+
+// sharded is implemented by caches whose miss path is split over
+// independent queue shards.
+type sharded interface{ Shards() int }
+
 // Replay runs the closed-loop benchmark: `threads` goroutines each iterate
 // over the workload (at distinct offsets so they do not lockstep),
 // performing Get and filling misses with Set, until every goroutine has
-// executed opsPerThread operations. It returns aggregate throughput.
+// executed opsPerThread operations. It returns aggregate throughput plus a
+// sampled per-op latency histogram.
 func Replay(c Cache, w *Workload, threads, opsPerThread int) ReplayResult {
 	var hits atomic.Uint64
+	hists := make([]LatencyHist, threads)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
-		go func(offset int) {
+		go func(offset int, h *LatencyHist) {
 			defer wg.Done()
 			n := len(w.Keys)
 			localHits := uint64(0)
@@ -115,6 +178,16 @@ func Replay(c Cache, w *Workload, threads, opsPerThread int) ReplayResult {
 				if pos == n {
 					pos = 0
 				}
+				if i%latSamplePeriod == 0 {
+					t0 := time.Now()
+					if _, ok := c.Get(key); ok {
+						localHits++
+					} else {
+						c.Set(key, w.Value)
+					}
+					h.Observe(time.Since(t0))
+					continue
+				}
 				if _, ok := c.Get(key); ok {
 					localHits++
 				} else {
@@ -122,15 +195,22 @@ func Replay(c Cache, w *Workload, threads, opsPerThread int) ReplayResult {
 				}
 			}
 			hits.Add(localHits)
-		}(t * len(w.Keys) / maxI(threads, 1))
+		}(t*len(w.Keys)/maxI(threads, 1), &hists[t])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	return ReplayResult{
+	res := ReplayResult{
 		Cache:   c.Name(),
 		Threads: threads,
 		Ops:     uint64(threads) * uint64(opsPerThread),
 		Elapsed: elapsed,
 		Hits:    hits.Load(),
 	}
+	if s, ok := c.(sharded); ok {
+		res.Shards = s.Shards()
+	}
+	for i := range hists {
+		res.Latency.Merge(&hists[i])
+	}
+	return res
 }

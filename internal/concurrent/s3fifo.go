@@ -1,29 +1,62 @@
 package concurrent
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"s3fifo/internal/ghost"
+	"s3fifo/internal/lockfree"
 )
 
 // S3FIFO is the concurrent S3-FIFO prototype (§5.1.3, §5.3). The property
 // the paper leans on is that FIFO queues never reorder on reads: a cache
 // hit performs a sharded hash lookup plus at most one atomic increment of
 // the object's 2-bit frequency counter — no list manipulation and no
-// locks. Only the miss path (insertion + eviction) takes the queue mutex,
-// and at high hit ratios that path is rare, which is why throughput scales
-// with cores in Fig. 8.
+// locks. Only the miss path (insertion + eviction) takes a lock, and that
+// path is sharded: the cache is split into N independent shards (a power
+// of two, keyed by the same mix as the sharded index), each owning its own
+// small/main FIFO queues, ghost queue, and miss-path mutex, so concurrent
+// misses on different shards never contend.
+//
+// Within a shard the remaining serial work is amortized off the hot path,
+// Cachelib-style:
+//
+//   - Delete never touches the queues; it publishes a tombstone hint into
+//     a per-shard lock-free ring that whoever next holds the shard lock
+//     drains, sweeping dead entries out of the queues in batch once enough
+//     accumulate.
+//   - Eviction runs in small batches down to a low watermark, so most Sets
+//     only push onto a queue and the eviction scan's cache-miss costs are
+//     paid in bursts.
+//   - The ghost queue is resized only when the main queue length has
+//     drifted ≥1/8 from the last resize, not once per evicted object.
 type S3FIFO struct {
+	capacity  int
+	index     *shardedIndex[*centry]
+	shards    []*s3fifoShard
+	shardMask uint64
+}
+
+// s3fifoShard is one independent slice of the cache: its own queues, ghost,
+// and miss-path mutex. A key maps to exactly one shard for its lifetime.
+type s3fifoShard struct {
+	mu       sync.Mutex // guards the queues, the ghost, and tombstones
 	capacity int
 	sTarget  int
-	index    *shardedIndex[*centry]
-
-	mu    sync.Mutex // guards the queues and the ghost (miss path only)
-	small fifoRing
-	main  fifoRing
-	ghost *ghost.Queue
-	live  atomic.Int64 // resident object count
+	small    fifoRing
+	main     fifoRing
+	ghost    *ghost.Queue
+	// ghostSizedFor is the main-queue length the ghost was last sized to;
+	// Resize runs only when the current length drifts ≥1/8 from it.
+	ghostSizedFor int
+	// pending carries tombstone hints from the lock-free Delete path to
+	// the next lock holder; tombstones counts drained hints not yet swept.
+	pending    *lockfree.Ring
+	tombstones int
+	sweepAt    int
+	evictBatch int
+	live       atomic.Int64 // resident (non-dead) objects owned by this shard
 }
 
 type centry struct {
@@ -31,9 +64,12 @@ type centry struct {
 	value atomic.Pointer[[]byte] // replaced atomically so lock-free readers never race
 	freq  atomic.Int32
 	dead  atomic.Bool // deleted or superseded; skipped at eviction scan
+	// val backs the initial value pointer so a fresh insert costs a single
+	// allocation; in-place replacements allocate a new slice header.
+	val []byte
 }
 
-// fifoRing is a slice-backed FIFO of entries, guarded by S3FIFO.mu.
+// fifoRing is a slice-backed FIFO of entries, guarded by the shard mutex.
 type fifoRing struct {
 	buf  []*centry
 	head int
@@ -58,29 +94,121 @@ func (q *fifoRing) pop() *centry {
 
 func (q *fifoRing) len() int { return len(q.buf) - q.head }
 
-const ccMaxFreq = 3
+// sweep removes tombstoned entries in one pass, preserving FIFO order.
+// Dead entries are otherwise reclaimed only when an eviction scan reaches
+// them; sweeping in batch keeps delete-heavy workloads from dragging dead
+// weight through every scan.
+func (q *fifoRing) sweep() {
+	w := q.head
+	for i := q.head; i < len(q.buf); i++ {
+		if e := q.buf[i]; !e.dead.Load() {
+			q.buf[w] = e
+			w++
+		}
+	}
+	for i := w; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:w]
+}
 
-// NewS3FIFO returns a concurrent S3-FIFO holding capacity objects; 10% of
-// the capacity forms the small probationary queue.
-func NewS3FIFO(capacity int) *S3FIFO {
-	sTarget := capacity / 10
-	if sTarget < 1 {
-		sTarget = 1
+const (
+	ccMaxFreq = 3
+
+	// evictBatchMax objects are evicted per over-watermark trigger, so the
+	// next ~batch Sets on the shard skip the eviction scan entirely.
+	evictBatchMax = 8
+
+	// minShardCapacity keeps automatically chosen shards large enough that
+	// per-shard queues and ghosts remain statistically meaningful.
+	minShardCapacity = 128
+
+	// maxShards bounds the shard count (matches the index shard count).
+	maxShards = 64
+
+	// pendingRingCap bounds the per-shard tombstone-hint ring; a dropped
+	// hint only delays a sweep.
+	pendingRingCap = 256
+)
+
+// NewS3FIFO returns a concurrent S3-FIFO holding capacity objects with an
+// automatically chosen shard count; 10% of each shard forms its small
+// probationary queue.
+func NewS3FIFO(capacity int) *S3FIFO { return NewS3FIFOSharded(capacity, 0) }
+
+// NewS3FIFOSharded returns a concurrent S3-FIFO with an explicit queue
+// shard count (rounded up to a power of two, capped at 64). shards <= 0
+// picks a default from GOMAXPROCS, shrunk until every shard holds at least
+// minShardCapacity objects.
+func NewS3FIFOSharded(capacity, shards int) *S3FIFO {
+	n := shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n < 8 {
+			n = 8
+		}
 	}
-	ge := capacity
-	if ge < 16 {
-		ge = 16
+	p := 1
+	for p < n && p < maxShards {
+		p <<= 1
 	}
-	return &S3FIFO{
-		capacity: capacity,
-		sTarget:  sTarget,
-		index:    newShardedIndex[*centry](),
-		ghost:    ghost.New(ge),
+	n = p
+	if shards <= 0 {
+		for n > 1 && capacity/n < minShardCapacity {
+			n >>= 1
+		}
 	}
+	for n > 1 && capacity/n < 1 {
+		n >>= 1
+	}
+	c := &S3FIFO{
+		capacity:  capacity,
+		index:     newShardedIndex[*centry](),
+		shards:    make([]*s3fifoShard, n),
+		shardMask: uint64(n - 1),
+	}
+	base, extra := capacity/n, capacity%n
+	for i := range c.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		sTarget := cap / 10
+		if sTarget < 1 {
+			sTarget = 1
+		}
+		batch := evictBatchMax
+		if max := (cap + 3) / 4; batch > max {
+			batch = max
+		}
+		if batch < 1 {
+			batch = 1
+		}
+		sweepAt := cap / 8
+		if sweepAt < 32 {
+			sweepAt = 32
+		}
+		c.shards[i] = &s3fifoShard{
+			capacity:   cap,
+			sTarget:    sTarget,
+			ghost:      ghost.New(maxI(cap, 16)),
+			pending:    lockfree.NewRing(pendingRingCap),
+			sweepAt:    sweepAt,
+			evictBatch: batch,
+		}
+	}
+	return c
 }
 
 // Name implements Cache.
 func (c *S3FIFO) Name() string { return "s3fifo" }
+
+// Shards returns the queue shard count.
+func (c *S3FIFO) Shards() int { return len(c.shards) }
+
+func (c *S3FIFO) shard(key uint64) *s3fifoShard {
+	return c.shards[mix64(key)&c.shardMask]
+}
 
 // Get implements Cache: the lock-free hit path.
 func (c *S3FIFO) Get(key uint64) ([]byte, bool) {
@@ -103,101 +231,175 @@ func (c *S3FIFO) Get(key uint64) ([]byte, bool) {
 	return *v, true
 }
 
-// Set implements Cache: the miss path, serialized on the queue mutex.
+// Set implements Cache: the miss path, serialized on the owning shard's
+// mutex only.
 func (c *S3FIFO) Set(key uint64, value []byte) {
-	e := &centry{key: key}
-	e.value.Store(&value)
+	e := &centry{key: key, val: value}
+	e.value.Store(&e.val)
 	for {
 		old, loaded := c.index.putIfAbsent(key, e)
 		if !loaded {
 			break // we own the insertion
 		}
 		if !old.dead.Load() {
-			old.value.Store(&value) // already resident: replace in place
+			v := value
+			old.value.Store(&v) // already resident: replace in place
+			// The replacement is logically a new object: it re-earns its
+			// reinsertion instead of inheriting the old value's popularity.
+			old.freq.Store(0)
 			return
 		}
 		// A dead mapping is mid-eviction; clear it and retry.
 		c.index.deleteIf(key, old)
 	}
-	c.mu.Lock()
-	for int(c.live.Load()) >= c.capacity {
-		c.evictLocked()
+	s := c.shard(key)
+	s.mu.Lock()
+	if int(s.live.Load()) >= s.capacity {
+		s.evictBatchLocked(c)
 	}
-	if c.ghost.Contains(key) {
-		c.ghost.Remove(key)
-		c.main.push(e)
+	if s.ghost.Contains(key) {
+		s.ghost.Remove(key)
+		s.main.push(e)
 	} else {
-		c.small.push(e)
+		s.small.push(e)
 	}
-	c.live.Add(1)
-	c.mu.Unlock()
+	s.live.Add(1)
+	s.mu.Unlock()
 }
 
-func (c *S3FIFO) evictLocked() {
-	if c.small.len() >= c.sTarget || c.main.len() == 0 {
-		c.evictSmallLocked()
-	} else {
-		c.evictMainLocked()
+// drainPendingLocked absorbs tombstone hints published by Delete and, once
+// enough have accumulated, sweeps dead entries out of both queues in one
+// batch. Called with the shard lock held.
+func (s *s3fifoShard) drainPendingLocked() {
+	if s.pending.Len() == 0 {
+		return
+	}
+	s.tombstones += s.pending.Drain(func(uint64) {}, pendingRingCap)
+	if s.tombstones < s.sweepAt {
+		return
+	}
+	s.tombstones = 0
+	s.small.sweep()
+	s.main.sweep()
+}
+
+// evictBatchLocked drains pending tombstone hints, then evicts down to the
+// low watermark (capacity − batch) so that the following ~batch insertions
+// skip eviction entirely, and re-checks the ghost size once for the whole
+// batch. Each eviction adjusts the live count locally; the shared counter
+// is updated once.
+func (s *s3fifoShard) evictBatchLocked(c *S3FIFO) {
+	s.drainPendingLocked()
+	target := s.capacity - s.evictBatch
+	if target < 0 {
+		target = 0
+	}
+	evicted := 0
+	for int(s.live.Load())-evicted > target {
+		if !s.evictOneLocked(c) {
+			break
+		}
+		evicted++
+	}
+	if evicted > 0 {
+		s.live.Add(-int64(evicted))
+	}
+	s.maybeResizeGhostLocked()
+}
+
+// maybeResizeGhostLocked tracks |G| = |M| (§4.2) lazily: the ghost is
+// resized only when the main queue length has drifted at least 1/8 from
+// the length it was last sized to.
+func (s *s3fifoShard) maybeResizeGhostLocked() {
+	m := s.main.len()
+	d := m - s.ghostSizedFor
+	if d < 0 {
+		d = -d
+	}
+	if d*8 >= maxI(s.ghostSizedFor, 16) {
+		s.ghost.Resize(maxI(m, 16))
+		s.ghostSizedFor = m
 	}
 }
 
-func (c *S3FIFO) evictSmallLocked() {
+func (s *s3fifoShard) evictOneLocked(c *S3FIFO) bool {
+	if s.small.len() >= s.sTarget || s.main.len() == 0 {
+		return s.evictFromSmallLocked(c)
+	}
+	return s.evictFromMainLocked(c)
+}
+
+func (s *s3fifoShard) evictFromSmallLocked(c *S3FIFO) bool {
 	for {
-		e := c.small.pop()
+		e := s.small.pop()
 		if e == nil {
-			c.evictMainLocked()
-			return
+			return s.evictFromMainLocked(c)
 		}
 		if e.dead.Load() {
 			continue // deleted while queued; its slot is already free
 		}
 		if e.freq.Load() > 1 {
 			e.freq.Store(0)
-			c.main.push(e)
+			s.main.push(e)
 			continue
 		}
-		e.dead.Store(true)
+		if e.dead.Swap(true) {
+			continue // lost the race to a concurrent Delete
+		}
 		c.index.deleteIf(e.key, e)
-		c.ghost.Insert(e.key)
-		c.ghost.Resize(maxI(c.main.len(), 16))
-		c.live.Add(-1)
-		return
+		s.ghost.Insert(e.key)
+		return true
 	}
 }
 
-func (c *S3FIFO) evictMainLocked() {
+func (s *s3fifoShard) evictFromMainLocked(c *S3FIFO) bool {
 	for {
-		e := c.main.pop()
+		e := s.main.pop()
 		if e == nil {
-			return
+			return false
 		}
 		if e.dead.Load() {
 			continue
 		}
 		if f := e.freq.Load(); f > 0 {
 			e.freq.Store(f - 1)
-			c.main.push(e)
+			s.main.push(e)
 			continue
 		}
-		e.dead.Store(true)
+		if e.dead.Swap(true) {
+			continue
+		}
 		c.index.deleteIf(e.key, e)
-		c.live.Add(-1)
-		return
+		return true
 	}
 }
 
 // Delete removes key if present. The queue slot is tombstoned and lazily
-// reclaimed during eviction scans, which is how a ring-buffer deployment
-// behaves (§4.2).
+// reclaimed — either when an eviction scan reaches it or when a batched
+// sweep (triggered by the tombstone hints below) collects it — which is
+// how a ring-buffer deployment behaves (§4.2). Delete itself takes no
+// locks.
 func (c *S3FIFO) Delete(key uint64) {
 	if e, ok := c.index.get(key); ok && !e.dead.Swap(true) {
 		c.index.deleteIf(key, e)
-		c.live.Add(-1)
+		s := c.shard(key)
+		s.live.Add(-1)
+		// Hint the next lock holder; a full ring just delays the sweep.
+		s.pending.TryPush(key)
 	}
 }
 
 // Len implements Cache.
-func (c *S3FIFO) Len() int { return int(c.live.Load()) }
+func (c *S3FIFO) Len() int {
+	var n int64
+	for _, s := range c.shards {
+		n += s.live.Load()
+	}
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
 
 // Capacity implements Cache.
 func (c *S3FIFO) Capacity() int { return c.capacity }

@@ -19,3 +19,40 @@ func simulatorMisses(t testing.TB, keys []uint64, capacity uint64) int {
 	}
 	return misses
 }
+
+// concurrentMisses serially replays keys through a concurrent cache with
+// on-demand fill, returning the miss count.
+func concurrentMisses(c Cache, keys []uint64, value []byte) int {
+	misses := 0
+	for _, k := range keys {
+		if _, ok := c.Get(k); !ok {
+			misses++
+			c.Set(k, value)
+		}
+	}
+	return misses
+}
+
+// TestShardedS3FIFOHitRatioMatchesCore: sharding splits the queues and the
+// ghost per shard, which perturbs eviction *order* but must not change
+// eviction *quality*. On a Zipf trace the sharded concurrent S3-FIFO's hit
+// ratio has to stay within half a percentage point of the single-queue
+// reference simulator in internal/core.
+func TestShardedS3FIFOHitRatioMatchesCore(t *testing.T) {
+	w := NewZipfWorkload(50000, 500000, 1.0, 8, 7)
+	const capacity = 5000
+	simMisses := simulatorMisses(t, w.Keys, capacity)
+	simHitRatio := 1 - float64(simMisses)/float64(len(w.Keys))
+	for _, shards := range []int{1, 4, 8, 16} {
+		cc := NewS3FIFOSharded(capacity, shards)
+		if got := cc.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+		misses := concurrentMisses(cc, w.Keys, w.Value)
+		hitRatio := 1 - float64(misses)/float64(len(w.Keys))
+		if diff := hitRatio - simHitRatio; diff < -0.005 || diff > 0.005 {
+			t.Errorf("%d shards: hit ratio %.4f vs core %.4f (diff %+.4f, tolerance ±0.005)",
+				shards, hitRatio, simHitRatio, diff)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package concurrent
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStressInvariants hammers Get/Set/Delete from many goroutines and
+// checks, continuously and at the end, that
+//
+//   - Len() never exceeds Capacity(),
+//   - a Get never returns a dead entry's value: deleted keys stay deleted
+//     until re-set, and returned values are always well-formed,
+//   - the index holds no tombstoned entries once the dust settles.
+//
+// Run under -race (the test-race make target does).
+func TestStressInvariants(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			t.Parallel()
+			const capacity = 512
+			c := NewS3FIFOSharded(capacity, shards)
+			const goroutines = 8
+			const opsPerG = 30000
+			// sharedSpan keys are touched by everyone (contention); each
+			// goroutine also owns a private key range (base g<<20) where the
+			// delete-then-miss property is checked deterministically.
+			const sharedSpan = 2048
+			var violations atomic.Int32
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					val := []byte{'v', byte(g)}
+					private := uint64(g+1) << 20
+					rng := uint64(g)*0x9E3779B97F4A7C15 + 1
+					for i := 0; i < opsPerG; i++ {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						switch rng % 8 {
+						case 0, 1, 2, 3: // shared-key traffic
+							key := rng % sharedSpan
+							if v, ok := c.Get(key); ok {
+								if len(v) != 2 || v[0] != 'v' {
+									t.Errorf("corrupt value %q for key %d", v, key)
+									violations.Add(1)
+									return
+								}
+							} else {
+								c.Set(key, val)
+							}
+						case 4, 5: // private set/get
+							key := private + rng%64
+							c.Set(key, val)
+							if v, ok := c.Get(key); ok && (len(v) != 2 || v[0] != 'v') {
+								t.Errorf("corrupt private value %q", v)
+								violations.Add(1)
+								return
+							}
+						case 6: // private delete, then the dead entry must not come back
+							key := private + rng%64
+							c.Delete(key)
+							if _, ok := c.Get(key); ok {
+								t.Errorf("key %d readable after Delete", key)
+								violations.Add(1)
+								return
+							}
+						case 7: // shared delete churn feeds the tombstone ring
+							c.Delete(rng % sharedSpan)
+						}
+						if i%1024 == 0 {
+							if got := c.Len(); got > c.Capacity() {
+								t.Errorf("Len %d > capacity %d mid-run", got, c.Capacity())
+								violations.Add(1)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if violations.Load() > 0 {
+				return
+			}
+			if got := c.Len(); got > c.Capacity() {
+				t.Errorf("Len %d > capacity %d after stress", got, c.Capacity())
+			}
+			// White-box: every entry still reachable through the index must be
+			// alive — eviction and Delete both unlink dead entries.
+			for i := range c.index.shards {
+				s := &c.index.shards[i]
+				s.RLock()
+				for k, e := range s.m {
+					if e.dead.Load() {
+						t.Errorf("index still maps key %d to a dead entry", k)
+					}
+				}
+				s.RUnlock()
+			}
+		})
+	}
+}

@@ -34,17 +34,21 @@ func New(capacity int) *Queue {
 	if capacity < 1 {
 		capacity = 1
 	}
-	// Aim for ~2 slots of headroom per tracked entry so valid entries are
-	// rarely displaced by collisions before they expire.
+	return &Queue{
+		buckets:  make([][slotsPerBucket]slot, bucketsFor(capacity)),
+		mask:     uint64(bucketsFor(capacity) - 1),
+		capacity: uint64(capacity),
+	}
+}
+
+// bucketsFor aims for ~2 slots of headroom per tracked entry so valid
+// entries are rarely displaced by collisions before they expire.
+func bucketsFor(capacity int) int {
 	nBuckets := 1
 	for nBuckets*slotsPerBucket < capacity*2 {
 		nBuckets *= 2
 	}
-	return &Queue{
-		buckets:  make([][slotsPerBucket]slot, nBuckets),
-		mask:     uint64(nBuckets - 1),
-		capacity: uint64(capacity),
-	}
+	return nBuckets
 }
 
 // Capacity returns the number of insertions an entry survives.
@@ -52,12 +56,56 @@ func (q *Queue) Capacity() int { return int(q.capacity) }
 
 // Resize changes the queue capacity. Shrinking implicitly expires the
 // oldest entries; growing lets future entries live longer (existing entries
-// keep their original timestamps).
+// keep their original timestamps). When the new capacity exceeds the
+// headroom the bucket array was built for, the table regrows and live
+// entries migrate, so a queue resized upward keeps its collision rate.
 func (q *Queue) Resize(capacity int) {
 	if capacity < 1 {
 		capacity = 1
 	}
 	q.capacity = uint64(capacity)
+	if need := bucketsFor(capacity); need > len(q.buckets) {
+		q.regrow(need)
+	}
+}
+
+// regrow rehashes live entries into a larger bucket array. Bucket indices
+// are derived from the fingerprint alone (see bucketOf), which is what
+// makes migration possible: the original keys are gone.
+func (q *Queue) regrow(nBuckets int) {
+	old := q.buckets
+	q.buckets = make([][slotsPerBucket]slot, nBuckets)
+	q.mask = uint64(nBuckets - 1)
+	for i := range old {
+		for _, s := range old[i] {
+			if !q.live(s) {
+				continue
+			}
+			bucket := &q.buckets[q.bucketOf(s.fingerprint)]
+			victim, ok := 0, false
+			for j := range bucket {
+				if !q.live(bucket[j]) {
+					victim, ok = j, true
+					break
+				}
+				if bucket[j].insertedAt < bucket[victim].insertedAt {
+					victim = j
+				}
+			}
+			// Prefer dropping the older entry on (rare) migration overflow.
+			if ok || bucket[victim].insertedAt < s.insertedAt {
+				bucket[victim] = s
+			}
+		}
+	}
+}
+
+// bucketOf maps a fingerprint to its bucket. Deriving the bucket from the
+// fingerprint (rather than from independent hash bits) lets Resize migrate
+// entries after the keys are gone; fingerprints are themselves hashes, so
+// the spread is unchanged.
+func (q *Queue) bucketOf(fp uint32) uint64 {
+	return (uint64(fp) * 0x9E3779B97F4A7C15 >> 32) & q.mask
 }
 
 func (q *Queue) locate(key uint64) (bucket uint64, fp uint32) {
@@ -66,7 +114,7 @@ func (q *Queue) locate(key uint64) (bucket uint64, fp uint32) {
 	if fp == 0 {
 		fp = 1 // reserve 0 so a zero-value slot never matches
 	}
-	return h & q.mask, fp
+	return q.bucketOf(fp), fp
 }
 
 func (q *Queue) live(s slot) bool {

@@ -74,6 +74,47 @@ func TestResize(t *testing.T) {
 	}
 }
 
+// TestResizeRegrowsTable: growing far beyond the initial capacity must
+// regrow the bucket array (keeping the collision rate) and keep recently
+// inserted entries findable after migration.
+func TestResizeRegrowsTable(t *testing.T) {
+	q := New(16)
+	for i := uint64(0); i < 16; i++ {
+		q.Insert(i)
+	}
+	before := len(q.buckets)
+	q.Resize(4096)
+	if len(q.buckets) <= before {
+		t.Fatalf("buckets did not grow: %d -> %d", before, len(q.buckets))
+	}
+	// The 16 pre-resize entries were inserted within the last 16 logical
+	// ticks, far inside the new 4096 window; migration must preserve them
+	// (modulo rare fingerprint-bucket overflow).
+	missing := 0
+	for i := uint64(0); i < 16; i++ {
+		if !q.Contains(i) {
+			missing++
+		}
+	}
+	if missing > 1 {
+		t.Errorf("%d of 16 entries lost across regrow", missing)
+	}
+	// And the grown table must actually hold a large working set: fill to
+	// the new capacity and check the recent window survives.
+	for i := uint64(1000); i < 1000+4096; i++ {
+		q.Insert(i)
+	}
+	missing = 0
+	for i := uint64(1000 + 4096 - 256); i < 1000+4096; i++ {
+		if !q.Contains(i) {
+			missing++
+		}
+	}
+	if missing > 8 {
+		t.Errorf("%d of 256 recent entries missing after regrow fill", missing)
+	}
+}
+
 func TestHitsCounter(t *testing.T) {
 	q := New(100)
 	q.Insert(5)

@@ -69,6 +69,10 @@ type Fig8Config struct {
 	LargeCache bool
 	// Caches to measure (default all five).
 	Caches []string
+	// Shards, when non-empty, additionally sweeps the S3-FIFO queue-shard
+	// count: each entry produces one extra measurement per thread count
+	// with an explicitly sharded S3-FIFO. Other caches are unaffected.
+	Shards []int
 }
 
 func (c Fig8Config) withDefaults() Fig8Config {
@@ -106,13 +110,27 @@ func Fig8(cfg Fig8Config) ([]concurrent.ReplayResult, error) {
 	}
 	var out []concurrent.ReplayResult
 	for _, name := range cfg.Caches {
-		for _, threads := range cfg.Threads {
-			c, err := concurrent.New(name, capacity)
-			if err != nil {
-				return nil, err
+		// 0 = the cache's default construction; explicit shard counts are
+		// swept for S3-FIFO only (the other caches have no queue shards).
+		shardCounts := []int{0}
+		if name == "s3fifo" && len(cfg.Shards) > 0 {
+			shardCounts = cfg.Shards
+		}
+		for _, shards := range shardCounts {
+			for _, threads := range cfg.Threads {
+				var c concurrent.Cache
+				if shards > 0 {
+					c = concurrent.NewS3FIFOSharded(capacity, shards)
+				} else {
+					var err error
+					c, err = concurrent.New(name, capacity)
+					if err != nil {
+						return nil, err
+					}
+				}
+				concurrent.Warm(c, w)
+				out = append(out, concurrent.Replay(c, w, threads, cfg.OpsPerThread/threads))
 			}
-			concurrent.Warm(c, w)
-			out = append(out, concurrent.Replay(c, w, threads, cfg.OpsPerThread/threads))
 		}
 	}
 	return out, nil

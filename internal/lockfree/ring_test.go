@@ -59,6 +59,9 @@ func TestCapacityRounding(t *testing.T) {
 	if r.Len() != 8 {
 		t.Errorf("Len = %d", r.Len())
 	}
+	if r.Cap() != 8 {
+		t.Errorf("Cap = %d, want 8", r.Cap())
+	}
 }
 
 func TestDrain(t *testing.T) {
