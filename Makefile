@@ -1,11 +1,14 @@
 GO ?= go
 
-.PHONY: all build test test-race tier1 bench throughput
+.PHONY: all build vet test test-race test-flash tier1 bench throughput flashbench
 
 all: tier1
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -17,9 +20,14 @@ test:
 test-race:
 	$(GO) test -race ./internal/concurrent/... ./internal/lockfree/...
 
-# Tier-1 verification: everything must build, the full suite must pass,
-# and the concurrent packages must be race-clean.
-tier1: build test test-race
+# Race-detector pass over the two-tier path: the log-structured flash
+# store and the cache facade that demotes into / promotes out of it.
+test-flash:
+	$(GO) test -race ./internal/flash/... ./cache/...
+
+# Tier-1 verification: everything must build and vet clean, the full
+# suite must pass, and the concurrent + tiered paths must be race-clean.
+tier1: build vet test test-race test-flash
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -27,3 +35,8 @@ bench:
 # Fig. 8 shard/thread sweep; writes BENCH_concurrent.json.
 throughput:
 	$(GO) run ./cmd/throughput
+
+# Fig. 9 simulation plus the real on-disk two-tier replay; writes
+# BENCH_flash.json.
+flashbench:
+	$(GO) run ./cmd/flashbench -real

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s3fifo/internal/core"
@@ -47,18 +48,56 @@ type Config struct {
 	// 0.10). Ignored for other policies.
 	SmallQueueRatio float64
 	// OnEvict, when set, is called after an entry leaves the cache due to
-	// eviction (not Delete). It runs while the shard lock is held: keep
+	// eviction (not Delete). With a flash tier it fires only when the
+	// entry leaves the cache entirely (declined by flash admission), not
+	// on demotion to flash. It runs while the shard lock is held: keep
 	// it short and do not call back into the cache.
 	OnEvict func(key string, value []byte)
+
+	// FlashDir, when non-empty, adds a flash tier: a log-structured
+	// on-disk store (internal/flash) holding entries demoted from DRAM.
+	// Flash hits transparently promote back into DRAM. The directory is
+	// created if missing; reopening a cache with the same directory
+	// recovers the flash contents (checksummed segment scan).
+	FlashDir string
+	// FlashBytes caps the flash tier's on-disk footprint. Required when
+	// FlashDir is set.
+	FlashBytes uint64
+	// FlashSegmentBytes overrides the flash segment file size (default
+	// 4 MiB; see flash.Options).
+	FlashSegmentBytes uint64
+	// Admission selects which DRAM-evicted entries are written to flash
+	// — every write consumes flash lifetime. One of "all" (default),
+	// "prob" (admit with probability 0.2), "freq" (admit entries hit at
+	// least once while resident), or "ghost" (freq plus a ghost queue of
+	// declined entries: a re-Set while remembered writes through, the
+	// paper's §5.4 filter against a real ghost queue). See Admissions.
+	Admission string
 }
 
 // Stats are cumulative counters since the cache was created.
 type Stats struct {
+	// Hits counts lookups served from either tier: DRAMHits + FlashHits.
 	Hits      uint64
 	Misses    uint64
 	Sets      uint64
 	Evictions uint64
 	Expired   uint64
+
+	// Per-tier breakdown; all flash fields are zero without a flash tier.
+	DRAMHits  uint64
+	FlashHits uint64
+	// Demotions counts DRAM evictions written to flash;
+	// DemotionsDeclined those the admission policy rejected.
+	Demotions         uint64
+	DemotionsDeclined uint64
+	// FlashBytesWritten is every byte appended to the flash log (the
+	// write-amplification numerator); FlashGCBytes is the subset
+	// rewritten by segment reclamation.
+	FlashBytesWritten uint64
+	FlashGCBytes      uint64
+	FlashSegments     uint64
+	FlashEntries      uint64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any lookups.
@@ -70,10 +109,13 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Cache is a sharded, thread-safe cache. Create one with New.
+// Cache is a sharded, thread-safe cache, optionally backed by a flash
+// tier (Config.FlashDir). Create one with New; call Close when a flash
+// tier is configured.
 type Cache struct {
 	shards []*shard
 	mask   uint64
+	flash  *flashTier // nil without a flash tier
 }
 
 type shard struct {
@@ -83,6 +125,7 @@ type shard struct {
 	ids     map[uint64]string // engine ID -> key
 	stats   Stats
 	onEvict func(string, []byte)
+	tier    *flashTier // nil without a flash tier
 }
 
 type entry struct {
@@ -136,9 +179,17 @@ func New(cfg Config) (*Cache, error) {
 	}
 
 	c := &Cache{mask: uint64(nShards - 1)}
+	tier, err := newFlashTier(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.flash = tier
 	for i := 0; i < nShards; i++ {
 		engine, err := mk()
 		if err != nil {
+			if tier != nil {
+				tier.store.Close()
+			}
 			return nil, err
 		}
 		s := &shard{
@@ -146,6 +197,7 @@ func New(cfg Config) (*Cache, error) {
 			entries: make(map[string]*entry),
 			ids:     make(map[uint64]string),
 			onEvict: cfg.OnEvict,
+			tier:    tier,
 		}
 		engine.SetObserver(s.evicted)
 		c.shards = append(c.shards, s)
@@ -153,8 +205,20 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
+// Close releases the flash tier (syncing its active segment). It is a
+// no-op for a DRAM-only cache, which needs no Close.
+func (c *Cache) Close() error {
+	if c.flash == nil {
+		return nil
+	}
+	return c.flash.store.Close()
+}
+
 // evicted is the policy's eviction observer; it runs under the shard lock
 // (policies only evict inside Request/Delete calls, which we serialize).
+// With a flash tier, this is the demotion point: the admission policy
+// sees the entry's frequency-at-eviction and decides whether the value
+// is written to the flash log.
 func (s *shard) evicted(ev policy.Eviction) {
 	key, ok := s.ids[ev.Key]
 	if !ok {
@@ -164,7 +228,11 @@ func (s *shard) evicted(ev policy.Eviction) {
 	delete(s.ids, ev.Key)
 	delete(s.entries, key)
 	s.stats.Evictions++
-	if s.onEvict != nil && e != nil {
+	demoted := false
+	if s.tier != nil && e != nil && !e.expired() {
+		demoted = s.tier.demote(key, e, ev)
+	}
+	if s.onEvict != nil && e != nil && !demoted {
 		s.onEvict(key, e.value)
 	}
 }
@@ -184,42 +252,70 @@ func hashString(key string) uint64 {
 }
 
 // Get returns the value stored for key. A lookup counts as a cache hit or
-// miss in Stats and feeds the eviction policy's access tracking.
+// miss in Stats and feeds the eviction policy's access tracking. With a
+// flash tier, a DRAM miss falls through to the flash index; a flash hit
+// promotes the entry back into DRAM (lazy promotion — the flash copy
+// stays valid, so a later re-demotion costs no second write).
 func (c *Cache) Get(key string) ([]byte, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[key]
-	if !ok {
-		s.stats.Misses++
-		return nil, false
-	}
-	if e.expired() {
+	if e, ok := s.entries[key]; ok {
+		if !e.expired() {
+			s.stats.DRAMHits++
+			s.engine.Request(e.id, e.size) // resident: pure hit, no insertion
+			v := e.value
+			s.mu.Unlock()
+			return v, true
+		}
 		s.expireLocked(key, e)
+	}
+	if c.flash == nil {
 		s.stats.Misses++
+		s.mu.Unlock()
 		return nil, false
 	}
-	s.stats.Hits++
-	s.engine.Request(e.id, e.size) // resident: pure hit, no insertion
-	return e.value, true
+	s.mu.Unlock()
+	// Flash lookup runs outside the shard lock: it is disk I/O.
+	v, expires, ok := c.flash.store.Get(key)
+	if !ok {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	c.promote(key, v, expires)
+	return v, true
 }
 
 // Set stores value under key, evicting other entries as needed. It
 // returns false when the entry cannot be admitted (larger than a shard).
 // Setting an existing key replaces its value; if the size changed, the
-// entry is re-admitted as a fresh insertion.
+// entry is re-admitted as a fresh insertion. With a flash tier, a Set
+// supersedes any flash copy of the key, and the ghost admission policy
+// may write the value through to flash (a re-Set of a recently declined
+// key proves reuse).
 func (c *Cache) Set(key string, value []byte) bool {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Sets++
+	id, ok := s.insertLocked(key, value)
+	if c.flash != nil {
+		c.flash.onSet(key, id, value, ok)
+	}
+	return ok
+}
+
+// insertLocked is the tier-agnostic DRAM insertion path shared by Set and
+// flash promotion. The caller holds the shard lock.
+func (s *shard) insertLocked(key string, value []byte) (uint64, bool) {
 	size := entrySize(key, value)
 
 	if e, ok := s.entries[key]; ok {
 		if e.size == size {
 			e.value = value
 			e.expiresAt = time.Time{} // a plain Set clears any TTL
-			return true
+			return e.id, true
 		}
 		s.engine.Delete(e.id)
 		delete(s.ids, e.id)
@@ -243,12 +339,13 @@ func (c *Cache) Set(key string, value []byte) bool {
 		// Rejected (oversized for the shard): undo bookkeeping.
 		delete(s.ids, id)
 		delete(s.entries, key)
-		return false
+		return id, false
 	}
-	return true
+	return id, true
 }
 
-// Delete removes key if present. It does not fire OnEvict.
+// Delete removes key from every tier if present. It does not fire
+// OnEvict.
 func (c *Cache) Delete(key string) {
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -258,9 +355,13 @@ func (c *Cache) Delete(key string) {
 		delete(s.ids, e.id)
 		delete(s.entries, key)
 	}
+	if c.flash != nil {
+		c.flash.store.Delete(key)
+	}
 }
 
-// Contains reports whether key is cached, without recording a hit.
+// Contains reports whether key is cached in either tier, without
+// recording a hit or promoting.
 func (c *Cache) Contains(key string) bool {
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -268,7 +369,10 @@ func (c *Cache) Contains(key string) bool {
 	e, ok := s.entries[key]
 	if ok && e.expired() {
 		s.expireLocked(key, e)
-		return false
+		ok = false
+	}
+	if !ok && c.flash != nil {
+		return c.flash.store.Contains(key)
 	}
 	return ok
 }
@@ -305,17 +409,30 @@ func (c *Cache) Capacity() uint64 {
 	return n
 }
 
-// Stats returns cumulative counters aggregated over shards.
+// Stats returns cumulative counters aggregated over shards and, when a
+// flash tier is configured, the flash store.
 func (c *Cache) Stats() Stats {
 	var out Stats
 	for _, s := range c.shards {
 		s.mu.Lock()
-		out.Hits += s.stats.Hits
+		out.DRAMHits += s.stats.DRAMHits
 		out.Misses += s.stats.Misses
 		out.Sets += s.stats.Sets
 		out.Evictions += s.stats.Evictions
 		out.Expired += s.stats.Expired
 		s.mu.Unlock()
+	}
+	out.Hits = out.DRAMHits
+	if c.flash != nil {
+		fst := c.flash.store.Stats()
+		out.FlashHits = fst.Hits
+		out.Hits += fst.Hits
+		out.Demotions = atomic.LoadUint64(&c.flash.demoted)
+		out.DemotionsDeclined = atomic.LoadUint64(&c.flash.declined)
+		out.FlashBytesWritten = fst.BytesWritten
+		out.FlashGCBytes = fst.GCBytes
+		out.FlashSegments = uint64(c.flash.store.Segments())
+		out.FlashEntries = uint64(c.flash.store.Len())
 	}
 	return out
 }

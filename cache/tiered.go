@@ -1,0 +1,236 @@
+// Tiered operation: the DRAM cache over a log-structured flash store
+// (internal/flash), modeled on the paper's §5.4 flash study and on
+// production DRAM-over-flash hierarchies (Cachelib). DRAM eviction is the
+// demotion point — an admission policy decides whether the evicted value
+// is worth a flash write, since every write consumes device lifetime — and
+// a flash hit lazily promotes the entry back into DRAM, leaving the flash
+// copy valid so re-demoting it later costs nothing.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"s3fifo/internal/flash"
+	"s3fifo/internal/flashsim"
+	"s3fifo/internal/ghost"
+	"s3fifo/internal/policy"
+	"s3fifo/internal/sketch"
+)
+
+// flashTier couples the on-disk store with the admission policy and the
+// tier's counters.
+type flashTier struct {
+	store *flash.Store
+	adm   admitter
+
+	demoted      uint64 // written to flash at DRAM eviction
+	demotedClean uint64 // admitted, but a valid flash copy already existed
+	declined     uint64 // rejected by the admission policy
+	writeThrough uint64 // written at Set time on a ghost re-request
+}
+
+// admitter decides which entries are worth a flash write. Implementations
+// must be safe for concurrent use: shards call them under their own locks.
+type admitter interface {
+	name() string
+	// admitEvicted decides at DRAM-eviction time; freq is the entry's
+	// hit count while resident (the policy's frequency-at-eviction).
+	admitEvicted(id uint64, size uint32, freq int) bool
+	// admitInsert decides at Set time whether the new value should be
+	// written through to flash immediately (ghost re-request).
+	admitInsert(id uint64, size uint32) bool
+}
+
+// admissionFactories maps Config.Admission names to constructors.
+var admissionFactories = map[string]func(cfg Config) admitter{
+	"all":  func(Config) admitter { return admitAll{} },
+	"prob": func(Config) admitter { return &admitProb{} },
+	"freq": func(Config) admitter { return admitFreq{} },
+	"ghost": func(cfg Config) admitter {
+		sizer := flashsim.GhostSizer{FlashBytes: cfg.FlashBytes}
+		return &admitGhost{g: ghost.New(sizer.Entries()), sizer: sizer}
+	},
+}
+
+// Admissions returns the available flash admission policy names, sorted.
+func Admissions() []string {
+	names := make([]string, 0, len(admissionFactories))
+	for n := range admissionFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newFlashTier opens the flash store described by cfg, or returns
+// (nil, nil) when no flash tier is configured.
+func newFlashTier(cfg Config) (*flashTier, error) {
+	if cfg.FlashDir == "" {
+		if cfg.FlashBytes != 0 || cfg.Admission != "" {
+			return nil, fmt.Errorf("cache: FlashBytes/Admission need FlashDir")
+		}
+		return nil, nil
+	}
+	if cfg.FlashBytes == 0 {
+		return nil, fmt.Errorf("cache: FlashDir needs FlashBytes")
+	}
+	if cfg.Admission == "" {
+		cfg.Admission = "all"
+	}
+	mk, ok := admissionFactories[cfg.Admission]
+	if !ok {
+		return nil, fmt.Errorf("cache: unknown admission policy %q (have %v)",
+			cfg.Admission, Admissions())
+	}
+	store, err := flash.Open(flash.Options{
+		Dir:          cfg.FlashDir,
+		MaxBytes:     cfg.FlashBytes,
+		SegmentBytes: cfg.FlashSegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &flashTier{store: store, adm: mk(cfg)}, nil
+}
+
+// demote runs at DRAM eviction, under the shard lock (shard -> flash is
+// the one lock order). It reports whether the entry lives on in the flash
+// tier (written now, or already there from an earlier demotion).
+func (t *flashTier) demote(key string, e *entry, ev policy.Eviction) bool {
+	if len(key) == 0 || len(key) >= flash.MaxKeyLen || len(e.value) > flash.MaxValueLen {
+		return false
+	}
+	if !t.adm.admitEvicted(ev.Key, ev.Size, ev.Freq) {
+		atomic.AddUint64(&t.declined, 1)
+		return false
+	}
+	if t.store.Contains(key) {
+		// The entry was promoted from flash and not overwritten since
+		// (Set invalidates), so the flash copy is still the live value:
+		// lazy promotion saved this write.
+		atomic.AddUint64(&t.demotedClean, 1)
+		return true
+	}
+	var expires int64
+	if !e.expiresAt.IsZero() {
+		expires = e.expiresAt.UnixNano()
+	}
+	if t.store.Put(key, e.value, expires) != nil {
+		return false
+	}
+	atomic.AddUint64(&t.demoted, 1)
+	return true
+}
+
+// onSet runs under the shard lock after a Set: the new value supersedes
+// any flash copy (tombstoned, not just dropped from the index, so a
+// stale record can never resurrect on crash recovery), and ghost
+// admission may write it through immediately.
+func (t *flashTier) onSet(key string, id uint64, value []byte, stored bool) {
+	t.store.Delete(key)
+	if !stored || len(key) >= flash.MaxKeyLen || len(value) > flash.MaxValueLen {
+		return
+	}
+	if t.adm.admitInsert(id, entrySize(key, value)) {
+		if t.store.Put(key, value, 0) == nil {
+			atomic.AddUint64(&t.writeThrough, 1)
+		}
+	}
+}
+
+// promote inserts a flash-hit value back into DRAM. The flash copy is
+// left in place: until the key is Set again, the copies agree, and the
+// next demotion is free.
+func (c *Cache) promote(key string, value []byte, expires int64) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		return // raced with a concurrent Set or promotion
+	}
+	if _, ok := s.insertLocked(key, value); ok && expires != 0 {
+		s.entries[key].expiresAt = time.Unix(0, expires)
+	}
+}
+
+// --- admission policies ---
+
+// admitAll admits every eviction: the no-filter baseline whose write
+// bytes the other policies are measured against.
+type admitAll struct{}
+
+func (admitAll) name() string                          { return "all" }
+func (admitAll) admitEvicted(uint64, uint32, int) bool { return true }
+func (admitAll) admitInsert(uint64, uint32) bool       { return false }
+
+// probAdmitP matches the simulator's probabilistic baseline (§5.4).
+const probAdmitP = 0.2
+
+// admitProb admits a fixed fraction of evictions, decided by a hash of a
+// global draw counter so repeated evictions of one key get fresh coins.
+type admitProb struct {
+	n uint64
+}
+
+func (a *admitProb) name() string { return "prob" }
+
+func (a *admitProb) admitEvicted(id uint64, _ uint32, _ int) bool {
+	n := atomic.AddUint64(&a.n, 1)
+	h := sketch.Hash(id^n, 0xF1A5)
+	return float64(h>>11)/float64(1<<53) < probAdmitP
+}
+
+func (a *admitProb) admitInsert(uint64, uint32) bool { return false }
+
+// admitFreq admits entries that were hit at least once while resident in
+// DRAM — one-hit wonders (the majority of objects in every trace the
+// paper studies) never reach flash.
+type admitFreq struct{}
+
+func (admitFreq) name() string { return "freq" }
+func (admitFreq) admitEvicted(_ uint64, _ uint32, freq int) bool {
+	return freq >= 1
+}
+func (admitFreq) admitInsert(uint64, uint32) bool { return false }
+
+// admitGhost is the paper's small-FIFO filter (§5.4) against a real
+// ghost queue: evictions hit while resident are admitted; the rest are
+// remembered in a ghost FIFO queue sized to one flash generation
+// (flashsim.GhostSizer), and a re-Set while remembered proves reuse and
+// writes through. Everything the ghost has forgotten is a one-hit wonder
+// and never touches flash.
+type admitGhost struct {
+	mu    sync.Mutex
+	g     *ghost.Queue
+	sizer flashsim.GhostSizer
+}
+
+func (a *admitGhost) name() string { return "ghost" }
+
+func (a *admitGhost) admitEvicted(id uint64, size uint32, freq int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if entries, resized := a.sizer.Observe(size); resized {
+		a.g.Resize(entries)
+	}
+	if freq >= 1 {
+		a.g.Remove(id) // admitted: later evictions start from fresh state
+		return true
+	}
+	a.g.Insert(id)
+	return false
+}
+
+func (a *admitGhost) admitInsert(id uint64, _ uint32) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.g.Contains(id) {
+		return false
+	}
+	a.g.Remove(id)
+	return true
+}

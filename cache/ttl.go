@@ -22,6 +22,13 @@ func (c *Cache) SetWithTTL(key string, value []byte, ttl time.Duration) bool {
 	if e, present := s.entries[key]; present {
 		e.expiresAt = now().Add(ttl)
 	}
+	if c.flash != nil {
+		// Set may have written the value through to flash without the
+		// TTL; tombstone that copy so flash never serves past the expiry,
+		// not even after a restart. A later demotion carries the TTL into
+		// the flash record.
+		c.flash.store.Delete(key)
+	}
 	s.mu.Unlock()
 	return true
 }

@@ -173,6 +173,55 @@ func (c *Client) Delete(key string) (bool, error) {
 	}
 }
 
+// ServerStats is the typed view of the server's counters. Flash fields
+// are zero when the server runs without a flash tier.
+type ServerStats struct {
+	Hits              uint64 // DRAMHits + FlashHits
+	Misses            uint64
+	Sets              uint64
+	Evictions         uint64
+	Expired           uint64
+	DRAMHits          uint64
+	FlashHits         uint64
+	FlashBytesWritten uint64
+	FlashGCBytes      uint64
+	FlashSegments     uint64
+	FlashEntries      uint64
+	Demotions         uint64
+	DemotionsDeclined uint64
+	Entries           uint64
+	Bytes             uint64
+	Capacity          uint64
+}
+
+// ServerStats fetches the server's counters into a typed struct. Stat
+// names the client does not know are ignored, so old clients keep
+// working against newer servers and vice versa.
+func (c *Client) ServerStats() (ServerStats, error) {
+	m, err := c.Stats()
+	if err != nil {
+		return ServerStats{}, err
+	}
+	return ServerStats{
+		Hits:              m["hits"],
+		Misses:            m["misses"],
+		Sets:              m["sets"],
+		Evictions:         m["evictions"],
+		Expired:           m["expired"],
+		DRAMHits:          m["dram_hits"],
+		FlashHits:         m["flash_hits"],
+		FlashBytesWritten: m["flash_bytes_written"],
+		FlashGCBytes:      m["flash_gc_bytes"],
+		FlashSegments:     m["flash_segments"],
+		FlashEntries:      m["flash_entries"],
+		Demotions:         m["demotions"],
+		DemotionsDeclined: m["demotions_declined"],
+		Entries:           m["entries"],
+		Bytes:             m["bytes"],
+		Capacity:          m["capacity"],
+	}, nil
+}
+
 // Stats fetches the server's counters as a name -> value map.
 func (c *Client) Stats() (map[string]uint64, error) {
 	c.mu.Lock()

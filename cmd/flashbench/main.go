@@ -4,18 +4,47 @@
 // Wikimedia-CDN-like and TencentPhoto-like profiles.
 //
 //	flashbench -scale 0.5
+//
+// With -real it additionally replays a mixed hot/warm/one-hit-wonder
+// stream through the real two-tier cache (internal/flash on disk behind
+// the DRAM S3-FIFO), once per cache.Admissions() policy, and writes the
+// combined results to -json (default BENCH_flash.json):
+//
+//	flashbench -real -requests 200000
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"s3fifo/internal/flashsim"
 	"s3fifo/internal/harness"
 )
 
+// benchFile is the BENCH_flash.json layout.
+type benchFile struct {
+	Note string `json:"note"`
+	// Sim rows are the Fig. 9 simulator results (normalized write bytes,
+	// miss ratio); Real rows come from the on-disk store.
+	Sim  []simRow                  `json:"sim"`
+	Real []harness.FlashRealResult `json:"real"`
+}
+
+type simRow struct {
+	Policy     string  `json:"policy"`
+	DRAMFrac   float64 `json:"dram_frac"`
+	MissRatio  float64 `json:"miss_ratio"`
+	WriteBytes float64 `json:"normalized_write_bytes"`
+}
+
 func main() {
-	scale := flag.Float64("scale", 0.25, "trace scale factor")
+	scale := flag.Float64("scale", 0.25, "trace scale factor for the Fig. 9 simulation")
+	real := flag.Bool("real", false, "also drive the real on-disk flash store per admission policy")
+	requests := flag.Int("requests", 200_000, "request count for the -real replay")
+	dir := flag.String("dir", "", "flash directory for -real (default: a temp dir, removed afterwards)")
+	jsonPath := flag.String("json", "BENCH_flash.json", "with -real, write results as JSON to this path (empty disables)")
 	flag.Parse()
 
 	rows, err := harness.Fig9(*scale)
@@ -26,5 +55,54 @@ func main() {
 	fmt.Println("Fig. 9 — flash admission: miss ratio and normalized write bytes")
 	for _, r := range rows {
 		fmt.Println(r)
+	}
+	if !*real {
+		return
+	}
+
+	realRows, err := harness.FlashReal(harness.FlashRealConfig{
+		Dir: *dir, Requests: *requests, Seed: 42,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flashbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nReal store — per-admission hit ratio and write amplification")
+	for _, r := range realRows {
+		fmt.Println(r)
+	}
+	if *jsonPath == "" {
+		return
+	}
+	out := benchFile{
+		Note: "sim: Fig. 9 flash-admission simulation; real: mixed hot/warm/one-hit-wonder stream through cache.New with a flash tier (internal/flash), write_amp = flash bytes written / unique bytes",
+		Real: realRows,
+	}
+	for _, r := range rows {
+		out.Sim = append(out.Sim, toSimRow(r))
+	}
+	f, err := os.Create(*jsonPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flashbench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flashbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nwrote", *jsonPath)
+}
+
+func toSimRow(r flashsim.Result) simRow {
+	return simRow{
+		Policy:     r.Policy,
+		DRAMFrac:   r.DRAMFrac,
+		MissRatio:  r.MissRatio(),
+		WriteBytes: r.NormalizedWrites(),
 	}
 }

@@ -22,6 +22,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"s3fifo/cache"
 	"s3fifo/internal/server"
@@ -33,12 +37,19 @@ func main() {
 	maxBytes := flag.Uint64("max-bytes", 256<<20, "cache capacity in bytes")
 	policy := flag.String("policy", "s3fifo", "eviction policy (see cache.Policies)")
 	shards := flag.Int("shards", 16, "cache shards")
+	flashDir := flag.String("flash-dir", "", "directory for the flash tier's segment files (enables the tier)")
+	flashBytes := flag.Uint64("flash-bytes", 0, "flash tier capacity in bytes (required with -flash-dir)")
+	admission := flag.String("admission", "",
+		"flash admission policy: "+strings.Join(cache.Admissions(), ", ")+" (default all)")
 	flag.Parse()
 
 	c, err := cache.New(cache.Config{
-		MaxBytes: *maxBytes,
-		Policy:   *policy,
-		Shards:   *shards,
+		MaxBytes:   *maxBytes,
+		Policy:     *policy,
+		Shards:     *shards,
+		FlashDir:   *flashDir,
+		FlashBytes: *flashBytes,
+		Admission:  *admission,
 	})
 	if err != nil {
 		log.Fatal("s3cached: ", err)
@@ -54,12 +65,36 @@ func main() {
 				"evictions": st.Evictions, "expired": st.Expired,
 				"hit_ratio": st.HitRatio(), "entries": c.Len(),
 				"bytes": c.Used(), "capacity": c.Capacity(),
+				"dram_hits": st.DRAMHits, "flash_hits": st.FlashHits,
+				"flash_bytes_written": st.FlashBytesWritten,
+				"flash_gc_bytes":      st.FlashGCBytes,
+				"flash_segments":      st.FlashSegments,
+				"flash_entries":       st.FlashEntries,
+				"demotions":           st.Demotions,
+				"demotions_declined":  st.DemotionsDeclined,
 			})
 		})
 		go func() { log.Fatal(http.ListenAndServe(*httpAddr, mux)) }()
 		fmt.Printf("stats on http://%s/stats\n", *httpAddr)
 	}
-	fmt.Printf("s3cached listening on %s (%s, %d MiB, %d shards)\n",
-		*addr, *policy, *maxBytes>>20, *shards)
+	// Sync and close the flash tier on SIGINT/SIGTERM so a restart
+	// recovers the full index without replay losses.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		srv.Close()
+		if err := c.Close(); err != nil {
+			log.Print("s3cached: close: ", err)
+		}
+		os.Exit(0)
+	}()
+	if *flashDir != "" {
+		fmt.Printf("s3cached listening on %s (%s, %d MiB DRAM + %d MiB flash at %s, %d shards)\n",
+			*addr, *policy, *maxBytes>>20, *flashBytes>>20, *flashDir, *shards)
+	} else {
+		fmt.Printf("s3cached listening on %s (%s, %d MiB, %d shards)\n",
+			*addr, *policy, *maxBytes>>20, *shards)
+	}
 	log.Fatal(srv.ListenAndServe(*addr))
 }

@@ -1,0 +1,584 @@
+// Package flash is a log-structured, append-only on-disk value store:
+// the flash tier of the DRAM+flash hierarchy in §5.4. Values are appended
+// to fixed-size segment files with per-record CRC32 checksums; an
+// in-memory index maps key -> (segment, offset). Reclamation is FIFO over
+// whole segments — the write pattern production flash caches require for
+// device lifetime — with reinsertion of still-live records that were read
+// while on flash (the flash-friendly analogue of S3-FIFO's lazy
+// promotion: one access bit, cleared on reinsertion).
+//
+// Crash recovery needs no separate manifest: Open scans the segment files
+// in sequence order and rebuilds the index from every record whose
+// checksum verifies, newest record per key winning. A torn append at the
+// tail of the newest segment is truncated away; deletes persist as
+// tombstone records.
+//
+// The store is safe for concurrent use. All operations take one store
+// mutex; callers that need more parallelism shard above this package the
+// same way the DRAM cache shards its policy instances.
+package flash
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// unixNow is the store's clock; Store.now indirects it for TTL tests.
+func unixNow() int64 { return time.Now().UnixNano() }
+
+// Record layout, little-endian:
+//
+//	magic   uint32  recordMagic
+//	flags   uint8   bit 0 = tombstone
+//	klen    uint16
+//	vlen    uint32
+//	expires int64   unix nanoseconds, 0 = no TTL
+//	crc     uint32  CRC32 (IEEE) of flags..expires plus key and value
+//	key     klen bytes
+//	value   vlen bytes
+const (
+	recordMagic   = 0x53464C31 // "SFL1"
+	headerSize    = 4 + 1 + 2 + 4 + 8 + 4
+	flagTombstone = 1
+
+	// MaxKeyLen and MaxValueLen bound one record; larger entries are
+	// rejected rather than admitted to the tier.
+	MaxKeyLen   = 1 << 16
+	MaxValueLen = 1 << 30
+)
+
+// Options configure Open.
+type Options struct {
+	// Dir holds the segment files; it is created if missing. Required.
+	Dir string
+	// MaxBytes caps the on-disk footprint. When an append pushes the
+	// total over the cap, whole segments are reclaimed oldest-first.
+	// Required.
+	MaxBytes uint64
+	// SegmentBytes is the size at which the active segment is sealed and
+	// a new one opened. Default 4 MiB, clamped so at least 4 segments fit
+	// in MaxBytes (reclamation granularity).
+	SegmentBytes uint64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dir == "" {
+		return o, fmt.Errorf("flash: Dir is required")
+	}
+	if o.MaxBytes == 0 {
+		return o, fmt.Errorf("flash: MaxBytes is required")
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SegmentBytes > o.MaxBytes/4 {
+		o.SegmentBytes = o.MaxBytes / 4
+	}
+	if o.SegmentBytes < 4<<10 {
+		o.SegmentBytes = 4 << 10
+	}
+	return o, nil
+}
+
+// Stats are cumulative counters since Open.
+type Stats struct {
+	Gets, Hits, Misses uint64
+	Puts, Deletes      uint64
+	// BytesWritten counts every byte appended to segment files, including
+	// reclamation rewrites and tombstones — the flash-endurance cost.
+	BytesWritten uint64
+	// GCBytes is the subset of BytesWritten rewritten by reclamation.
+	GCBytes uint64
+	// Reclaims counts segments reclaimed; ReclaimDropped the live records
+	// dropped (flash evictions), ReclaimKept those reinserted.
+	Reclaims       uint64
+	ReclaimDropped uint64
+	ReclaimKept    uint64
+	// Recovery counters from the last Open: records indexed, bytes
+	// truncated from a torn tail, records dropped for bad checksums.
+	RecoveredRecords uint64
+	TruncatedBytes   uint64
+	CorruptDropped   uint64
+}
+
+// rec locates one live record.
+type rec struct {
+	seg     uint64
+	off     uint64
+	klen    uint16
+	vlen    uint32
+	expires int64
+	freq    uint8 // read-while-on-flash counter, capped at 3
+}
+
+func (r rec) size() uint64 { return headerSize + uint64(r.klen) + uint64(r.vlen) }
+
+type segment struct {
+	seq  uint64
+	path string
+	f    *os.File
+	size uint64
+}
+
+// Store is a log-structured key-value store. Create one with Open.
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+
+	segs      []*segment // oldest..newest; last is the active (append) segment
+	nextSeq   uint64
+	index     map[string]rec
+	diskUsed  uint64
+	liveBytes uint64
+	stats     Stats
+
+	// now is indirected for TTL tests.
+	now func() int64
+}
+
+// Open opens (or creates) a store in opts.Dir, rebuilding the index from
+// the segment files on disk.
+func Open(opts Options) (*Store, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flash: %w", err)
+	}
+	s := &Store{
+		opts:  opts,
+		index: make(map[string]rec),
+		now:   unixNow,
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if len(s.segs) == 0 || s.segs[len(s.segs)-1].size >= opts.SegmentBytes {
+		if err := s.rollLocked(); err != nil {
+			s.closeAll()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%010d.seg", seq))
+}
+
+// recover scans segment files in sequence order and rebuilds the index.
+// The newest record for a key wins; tombstones erase; a torn record at
+// the tail of the newest segment is truncated away; a corrupt record
+// anywhere else abandons the rest of that segment (records behind it
+// cannot be located reliably).
+func (s *Store) recover() error {
+	names, err := filepath.Glob(filepath.Join(s.opts.Dir, "*.seg"))
+	if err != nil {
+		return fmt.Errorf("flash: %w", err)
+	}
+	type found struct {
+		seq  uint64
+		path string
+	}
+	var files []found
+	for _, p := range names {
+		base := strings.TrimSuffix(filepath.Base(p), ".seg")
+		seq, err := strconv.ParseUint(base, 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		files = append(files, found{seq, p})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].seq < files[j].seq })
+
+	for i, fl := range files {
+		last := i == len(files)-1
+		data, err := os.ReadFile(fl.path)
+		if err != nil {
+			return fmt.Errorf("flash: recover %s: %w", fl.path, err)
+		}
+		valid := s.scanSegment(fl.seq, data, last)
+		if last && valid < uint64(len(data)) {
+			// Torn tail: truncate so future appends start at a clean edge.
+			s.stats.TruncatedBytes += uint64(len(data)) - valid
+			if err := os.Truncate(fl.path, int64(valid)); err != nil {
+				return fmt.Errorf("flash: truncate %s: %w", fl.path, err)
+			}
+			data = data[:valid]
+		}
+		mode := os.O_RDONLY
+		if last {
+			mode = os.O_RDWR
+		}
+		f, err := os.OpenFile(fl.path, mode, 0o644)
+		if err != nil {
+			s.closeAll()
+			return fmt.Errorf("flash: %w", err)
+		}
+		seg := &segment{seq: fl.seq, path: fl.path, f: f, size: uint64(len(data))}
+		s.segs = append(s.segs, seg)
+		s.diskUsed += seg.size
+		if fl.seq >= s.nextSeq {
+			s.nextSeq = fl.seq + 1
+		}
+	}
+	return nil
+}
+
+// scanSegment indexes every verifiable record in data and returns the
+// byte offset of the first invalid one (== len(data) when all verify).
+func (s *Store) scanSegment(seq uint64, data []byte, last bool) uint64 {
+	off := uint64(0)
+	for off+headerSize <= uint64(len(data)) {
+		hdr := data[off:]
+		if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
+			s.noteCorrupt(last)
+			return off
+		}
+		flags := hdr[4]
+		klen := binary.LittleEndian.Uint16(hdr[5:7])
+		vlen := binary.LittleEndian.Uint32(hdr[7:11])
+		expires := int64(binary.LittleEndian.Uint64(hdr[11:19]))
+		crc := binary.LittleEndian.Uint32(hdr[19:23])
+		total := headerSize + uint64(klen) + uint64(vlen)
+		if vlen > MaxValueLen || off+total > uint64(len(data)) {
+			s.noteCorrupt(last)
+			return off
+		}
+		body := data[off+headerSize : off+total]
+		check := crc32.ChecksumIEEE(hdr[4:19])
+		check = crc32.Update(check, crc32.IEEETable, body)
+		if check != crc {
+			s.noteCorrupt(last)
+			return off
+		}
+		key := string(body[:klen])
+		if flags&flagTombstone != 0 {
+			s.dropIndex(key)
+		} else if expires != 0 && expires <= s.now() {
+			s.dropIndex(key) // expired while down
+		} else {
+			s.setIndex(key, rec{seg: seq, off: off, klen: klen, vlen: vlen, expires: expires})
+			s.stats.RecoveredRecords++
+		}
+		off += total
+	}
+	if off < uint64(len(data)) {
+		s.noteCorrupt(last)
+	}
+	return off
+}
+
+// noteCorrupt classifies an unreadable record: a torn tail on the active
+// segment is normal crash damage (counted as truncation by the caller);
+// anywhere else it is corruption.
+func (s *Store) noteCorrupt(last bool) {
+	if !last {
+		s.stats.CorruptDropped++
+	}
+}
+
+func (s *Store) setIndex(key string, r rec) {
+	if old, ok := s.index[key]; ok {
+		s.liveBytes -= old.size()
+	}
+	s.index[key] = r
+	s.liveBytes += r.size()
+}
+
+func (s *Store) dropIndex(key string) {
+	if old, ok := s.index[key]; ok {
+		s.liveBytes -= old.size()
+		delete(s.index, key)
+	}
+}
+
+func (s *Store) closeAll() {
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+}
+
+// rollLocked seals the active segment and opens a new one.
+func (s *Store) rollLocked() error {
+	seq := s.nextSeq
+	s.nextSeq++
+	path := segPath(s.opts.Dir, seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("flash: %w", err)
+	}
+	s.segs = append(s.segs, &segment{seq: seq, path: path, f: f})
+	return nil
+}
+
+func (s *Store) active() *segment { return s.segs[len(s.segs)-1] }
+
+// appendRecord writes one record to the active segment and returns its
+// location. gc marks reclamation rewrites for the stats split.
+func (s *Store) appendRecord(key string, value []byte, expires int64, flags uint8, gc bool) (rec, error) {
+	if len(key) == 0 || len(key) >= MaxKeyLen {
+		return rec{}, fmt.Errorf("flash: key length %d out of range", len(key))
+	}
+	if len(value) > MaxValueLen {
+		return rec{}, fmt.Errorf("flash: value too large (%d bytes)", len(value))
+	}
+	total := headerSize + len(key) + len(value)
+	buf := make([]byte, total)
+	binary.LittleEndian.PutUint32(buf[0:4], recordMagic)
+	buf[4] = flags
+	binary.LittleEndian.PutUint16(buf[5:7], uint16(len(key)))
+	binary.LittleEndian.PutUint32(buf[7:11], uint32(len(value)))
+	binary.LittleEndian.PutUint64(buf[11:19], uint64(expires))
+	copy(buf[headerSize:], key)
+	copy(buf[headerSize+len(key):], value)
+	crc := crc32.ChecksumIEEE(buf[4:19])
+	crc = crc32.Update(crc, crc32.IEEETable, buf[headerSize:])
+	binary.LittleEndian.PutUint32(buf[19:23], crc)
+
+	seg := s.active()
+	if _, err := seg.f.WriteAt(buf, int64(seg.size)); err != nil {
+		return rec{}, fmt.Errorf("flash: append: %w", err)
+	}
+	r := rec{
+		seg: seg.seq, off: seg.size,
+		klen: uint16(len(key)), vlen: uint32(len(value)), expires: expires,
+	}
+	seg.size += uint64(total)
+	s.diskUsed += uint64(total)
+	s.stats.BytesWritten += uint64(total)
+	if gc {
+		s.stats.GCBytes += uint64(total)
+	}
+	if seg.size >= s.opts.SegmentBytes {
+		if err := s.rollLocked(); err != nil {
+			return rec{}, err
+		}
+	}
+	return r, nil
+}
+
+// Put stores value under key with an optional absolute expiry (unix
+// nanoseconds; 0 = none), evicting old segments as needed.
+func (s *Store) Put(key string, value []byte, expires int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := s.appendRecord(key, value, expires, 0, false)
+	if err != nil {
+		return err
+	}
+	s.stats.Puts++
+	s.setIndex(key, r)
+	return s.reclaimLocked()
+}
+
+// reclaimLocked enforces MaxBytes by reclaiming whole segments
+// oldest-first. Live records that were read while on flash are reinserted
+// at the head of the log (access bit cleared, so a record survives at
+// most one generation without a new read); cold or superseded records are
+// dropped.
+func (s *Store) reclaimLocked() error {
+	for s.diskUsed > s.opts.MaxBytes && len(s.segs) > 1 {
+		victim := s.segs[0]
+		data := make([]byte, victim.size)
+		if _, err := victim.f.ReadAt(data, 0); err != nil {
+			return fmt.Errorf("flash: reclaim read %s: %w", victim.path, err)
+		}
+		s.segs = s.segs[1:]
+		s.diskUsed -= victim.size
+		now := s.now()
+
+		off := uint64(0)
+		for off+headerSize <= uint64(len(data)) {
+			hdr := data[off:]
+			klen := binary.LittleEndian.Uint16(hdr[5:7])
+			vlen := binary.LittleEndian.Uint32(hdr[7:11])
+			total := headerSize + uint64(klen) + uint64(vlen)
+			if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic || off+total > uint64(len(data)) {
+				break // scan damage; everything behind is unreachable anyway
+			}
+			body := data[off+headerSize : off+total]
+			key := string(body[:klen])
+			r, live := s.index[key]
+			if live && r.seg == victim.seq && r.off == off {
+				switch {
+				case r.expires != 0 && r.expires <= now:
+					s.dropIndex(key)
+				case r.freq > 0:
+					nr, err := s.appendRecord(key, body[klen:], r.expires, 0, true)
+					if err != nil {
+						return err
+					}
+					s.setIndex(key, nr) // freq resets to zero
+					s.stats.ReclaimKept++
+				default:
+					s.dropIndex(key)
+					s.stats.ReclaimDropped++
+				}
+			}
+			off += total
+		}
+		victim.f.Close()
+		if err := os.Remove(victim.path); err != nil {
+			return fmt.Errorf("flash: reclaim remove: %w", err)
+		}
+		s.stats.Reclaims++
+	}
+	return nil
+}
+
+// Get returns the value and expiry stored for key, bumping its
+// read-while-on-flash bit. Expired or unreadable records count as misses
+// and leave the index.
+func (s *Store) Get(key string) (value []byte, expires int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Gets++
+	r, found := s.index[key]
+	if !found {
+		s.stats.Misses++
+		return nil, 0, false
+	}
+	if r.expires != 0 && r.expires <= s.now() {
+		s.dropIndex(key)
+		s.stats.Misses++
+		return nil, 0, false
+	}
+	seg := s.segFor(r.seg)
+	if seg == nil {
+		s.dropIndex(key)
+		s.stats.Misses++
+		return nil, 0, false
+	}
+	buf := make([]byte, r.size())
+	if _, err := seg.f.ReadAt(buf, int64(r.off)); err != nil {
+		s.dropIndex(key)
+		s.stats.Misses++
+		s.stats.CorruptDropped++
+		return nil, 0, false
+	}
+	crc := binary.LittleEndian.Uint32(buf[19:23])
+	check := crc32.ChecksumIEEE(buf[4:19])
+	check = crc32.Update(check, crc32.IEEETable, buf[headerSize:])
+	if binary.LittleEndian.Uint32(buf[0:4]) != recordMagic || crc != check {
+		s.dropIndex(key)
+		s.stats.Misses++
+		s.stats.CorruptDropped++
+		return nil, 0, false
+	}
+	if r.freq < 3 {
+		r.freq++
+		s.index[key] = r
+	}
+	s.stats.Hits++
+	return buf[headerSize+uint64(r.klen):], r.expires, true
+}
+
+func (s *Store) segFor(seq uint64) *segment {
+	// Segments are few (MaxBytes/SegmentBytes); a linear scan from the
+	// newest end wins for fresh records and stays trivial.
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		if s.segs[i].seq == seq {
+			return s.segs[i]
+		}
+	}
+	return nil
+}
+
+// Contains reports whether key has a live, unexpired record, without
+// touching its access bit or the Get counters.
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.index[key]
+	if !ok {
+		return false
+	}
+	if r.expires != 0 && r.expires <= s.now() {
+		s.dropIndex(key)
+		return false
+	}
+	return true
+}
+
+// Delete removes key. A tombstone record is appended when the key was
+// present so the delete survives restart.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	s.dropIndex(key)
+	s.stats.Deletes++
+	_, err := s.appendRecord(key, nil, 0, flagTombstone, false)
+	if err != nil {
+		return err
+	}
+	return s.reclaimLocked()
+}
+
+// Len returns the number of live records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// LiveBytes returns the bytes of live records (keys + values + headers).
+func (s *Store) LiveBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveBytes
+}
+
+// DiskUsed returns the total size of the segment files.
+func (s *Store) DiskUsed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diskUsed
+}
+
+// Segments returns the number of segment files.
+func (s *Store) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs)
+}
+
+// Capacity returns the configured MaxBytes.
+func (s *Store) Capacity() uint64 { return s.opts.MaxBytes }
+
+// Stats returns cumulative counters since Open.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active().f.Sync()
+}
+
+// Close syncs and closes every segment file. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.active().f.Sync()
+	s.closeAll()
+	s.segs = nil
+	return err
+}

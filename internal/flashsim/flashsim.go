@@ -330,20 +330,61 @@ func (a *flashieldAdmitter) gc() {
 	}
 }
 
+// GhostSizer estimates how many ghost entries cover one flash generation
+// of objects: flash bytes divided by the running mean object size. Both
+// the simulator's small-FIFO admitter and the real tiered cache's
+// ghost-hit admission (cache/tiered.go) size their ghost queues with it.
+type GhostSizer struct {
+	// FlashBytes is the flash-tier capacity the ghost should mirror.
+	FlashBytes uint64
+	sizeSum    uint64
+	sizeN      uint64
+}
+
+// Observe records one object size and returns the refreshed capacity
+// estimate. resized is true every 1024 observations, when the estimate
+// has been recomputed and the caller should Resize its ghost queue.
+func (z *GhostSizer) Observe(size uint32) (entries int, resized bool) {
+	z.sizeSum += uint64(size)
+	z.sizeN++
+	if z.sizeN%1024 != 0 {
+		return 0, false
+	}
+	return z.Entries(), true
+}
+
+// Entries returns the current capacity estimate (one flash generation of
+// mean-sized objects, clamped to [64, 2^20]).
+func (z *GhostSizer) Entries() int {
+	mean := uint64(32 << 10) // prior before any observations
+	if z.sizeN > 0 {
+		mean = z.sizeSum / z.sizeN
+		if mean == 0 {
+			mean = 1
+		}
+	}
+	entries := int(z.FlashBytes / mean)
+	if entries < 64 {
+		entries = 64
+	}
+	if entries > 1<<20 {
+		entries = 1 << 20
+	}
+	return entries
+}
+
 // smallFIFOAdmitter: the paper's design. S (DRAM) is a plain FIFO with
 // 2-bit counters; objects requested again while in S are admitted to
 // flash at S-eviction; objects re-requested while in the ghost G are
 // admitted directly.
 type smallFIFOAdmitter struct {
-	queue      *list.List
-	index      map[uint64]*list.Node
-	cap        uint64
-	used       uint64
-	g          *ghost.Queue
-	write      func(uint64, uint32)
-	flashBytes uint64
-	sizeSum    uint64
-	sizeN      uint64
+	queue *list.List
+	index map[uint64]*list.Node
+	cap   uint64
+	used  uint64
+	g     *ghost.Queue
+	write func(uint64, uint32)
+	sizer GhostSizer
 }
 
 func newSmallFIFOAdmitter(dramBytes, flashBytes uint64) *smallFIFOAdmitter {
@@ -361,31 +402,18 @@ func newSmallFIFOAdmitter(dramBytes, flashBytes uint64) *smallFIFOAdmitter {
 		entries = 1 << 18
 	}
 	return &smallFIFOAdmitter{
-		queue:      list.New(),
-		index:      make(map[uint64]*list.Node),
-		cap:        dramBytes,
-		g:          ghost.New(entries),
-		flashBytes: flashBytes,
+		queue: list.New(),
+		index: make(map[uint64]*list.Node),
+		cap:   dramBytes,
+		g:     ghost.New(entries),
+		sizer: GhostSizer{FlashBytes: flashBytes},
 	}
 }
 
 // observeSize refines the ghost's logical capacity using the running mean
 // object size, so G keeps tracking one flash generation of objects.
 func (a *smallFIFOAdmitter) observeSize(size uint32) {
-	a.sizeSum += uint64(size)
-	a.sizeN++
-	if a.sizeN%1024 == 0 {
-		mean := a.sizeSum / a.sizeN
-		if mean == 0 {
-			mean = 1
-		}
-		entries := int(a.flashBytes / mean)
-		if entries < 64 {
-			entries = 64
-		}
-		if entries > 1<<20 {
-			entries = 1 << 20
-		}
+	if entries, resized := a.sizer.Observe(size); resized {
 		a.g.Resize(entries)
 	}
 }

@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"s3fifo/cache"
+)
+
+// FlashRealConfig parameterizes the real two-tier experiment: the same
+// request stream replayed against cache.New with a flash tier on disk,
+// once per admission policy.
+type FlashRealConfig struct {
+	// Dir is the parent directory for the per-policy flash stores; empty
+	// uses a fresh temp directory that is removed afterwards.
+	Dir string
+	// Requests in the stream (default 200k).
+	Requests int
+	// DRAMBytes is the tier-1 capacity (default 16 KiB: a deliberately
+	// tiny DRAM so most hits must come off flash, as in the paper's §5.4
+	// setting where DRAM is ~1% of the cache).
+	DRAMBytes uint64
+	// FlashBytes is the tier-2 capacity (default 256 KiB — much smaller
+	// than the workload footprint, so admission quality decides both the
+	// hit ratio and the write traffic).
+	FlashBytes uint64
+	// SegmentBytes is the flash segment size (default 32 KiB).
+	SegmentBytes uint64
+	// ValueBytes per object (default 100).
+	ValueBytes int
+	// Admissions to measure (default all of cache.Admissions()).
+	Admissions []string
+	// Seed for the workload generator.
+	Seed int64
+}
+
+func (c FlashRealConfig) withDefaults() FlashRealConfig {
+	if c.Requests <= 0 {
+		c.Requests = 200_000
+	}
+	if c.DRAMBytes == 0 {
+		c.DRAMBytes = 16 << 10
+	}
+	if c.FlashBytes == 0 {
+		c.FlashBytes = 256 << 10
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 32 << 10
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 100
+	}
+	if len(c.Admissions) == 0 {
+		c.Admissions = cache.Admissions()
+	}
+	return c
+}
+
+// FlashRealResult is one admission policy's measurement on the real
+// store.
+type FlashRealResult struct {
+	Admission         string  `json:"admission"`
+	Requests          uint64  `json:"requests"`
+	HitRatio          float64 `json:"hit_ratio"`
+	DRAMHits          uint64  `json:"dram_hits"`
+	FlashHits         uint64  `json:"flash_hits"`
+	FlashBytesWritten uint64  `json:"flash_bytes_written"`
+	FlashGCBytes      uint64  `json:"flash_gc_bytes"`
+	UniqueBytes       uint64  `json:"unique_bytes"`
+	WriteAmp          float64 `json:"write_amp"` // flash bytes written / unique bytes
+	Demotions         uint64  `json:"demotions"`
+	DemotionsDeclined uint64  `json:"demotions_declined"`
+	FlashSegments     uint64  `json:"flash_segments"`
+	FlashEntries      uint64  `json:"flash_entries"`
+}
+
+// String renders the result as a table row.
+func (r FlashRealResult) String() string {
+	return fmt.Sprintf("%-6s hit %6.4f  writes %6.3fx  gc %8d B  flash hits %7d  demoted %6d (declined %6d)",
+		r.Admission, r.HitRatio, r.WriteAmp, r.FlashGCBytes, r.FlashHits,
+		r.Demotions, r.DemotionsDeclined)
+}
+
+// flashRealStream materializes the request key sequence once so every
+// admission policy replays the identical stream. The mix follows the
+// traces the paper studies: a hot head that lives in DRAM, a "warm"
+// middle class re-referenced in close pairs but with inter-arrival gaps
+// longer than a flash generation under admit-all churn, and a long
+// one-hit-wonder tail (the majority class in every Table 1 trace) whose
+// admission is pure write waste.
+func flashRealStream(cfg FlashRealConfig) (keys []string, uniqueBytes uint64) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	entryBytes := uint64(cfg.ValueBytes) + 9         // + key length
+	hotKeys := int(cfg.DRAMBytes / entryBytes)       // fits tier 1
+	warmKeys := int(cfg.FlashBytes / entryBytes / 2) // fits tier 2 with room
+	keys = make([]string, 0, cfg.Requests)
+	warm, tail := 0, 0
+	seen := make(map[string]struct{}, cfg.Requests)
+	push := func(k string) {
+		keys = append(keys, k)
+		if _, ok := seen[k]; !ok {
+			seen[k] = struct{}{}
+			uniqueBytes += entryBytes
+		}
+	}
+	for len(keys) < cfg.Requests {
+		switch r := rng.Intn(10); {
+		case r < 4:
+			push(fmt.Sprintf("hot-%06d", rng.Intn(hotKeys)))
+		case r == 4:
+			// Back-to-back pair: the second request is a DRAM hit, so the
+			// key evicts with freq >= 1 and every policy admits it.
+			k := fmt.Sprintf("warm-%05d", warm%warmKeys)
+			warm++
+			push(k)
+			push(k)
+		default:
+			push(fmt.Sprintf("tail-%08d", tail))
+			tail++
+		}
+	}
+	return keys[:cfg.Requests], uniqueBytes
+}
+
+// FlashReal replays one workload through the real DRAM+flash cache once
+// per admission policy and reports per-policy hit ratio and write
+// traffic — the on-disk counterpart of the Fig. 9 simulation.
+func FlashReal(cfg FlashRealConfig) ([]FlashRealResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "flashreal")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Dir = dir
+	}
+	keys, uniqueBytes := flashRealStream(cfg)
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	var out []FlashRealResult
+	for _, adm := range cfg.Admissions {
+		dir := filepath.Join(cfg.Dir, adm)
+		c, err := cache.New(cache.Config{
+			MaxBytes:          cfg.DRAMBytes,
+			Shards:            1,
+			FlashDir:          dir,
+			FlashBytes:        cfg.FlashBytes,
+			FlashSegmentBytes: cfg.SegmentBytes,
+			Admission:         adm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range keys {
+			if _, ok := c.Get(k); !ok {
+				c.Set(k, value)
+			}
+		}
+		st := c.Stats()
+		if err := c.Close(); err != nil {
+			return nil, err
+		}
+		out = append(out, FlashRealResult{
+			Admission:         adm,
+			Requests:          st.Hits + st.Misses,
+			HitRatio:          st.HitRatio(),
+			DRAMHits:          st.DRAMHits,
+			FlashHits:         st.FlashHits,
+			FlashBytesWritten: st.FlashBytesWritten,
+			FlashGCBytes:      st.FlashGCBytes,
+			UniqueBytes:       uniqueBytes,
+			WriteAmp:          float64(st.FlashBytesWritten) / float64(uniqueBytes),
+			Demotions:         st.Demotions,
+			DemotionsDeclined: st.DemotionsDeclined,
+			FlashSegments:     st.FlashSegments,
+			FlashEntries:      st.FlashEntries,
+		})
+	}
+	return out, nil
+}

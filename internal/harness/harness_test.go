@@ -246,3 +246,29 @@ func TestDesignAblationRuns(t *testing.T) {
 			byName["s3fifo-g0.1"], byName["s3fifo"])
 	}
 }
+
+func TestFlashRealSmallRun(t *testing.T) {
+	rows, err := FlashReal(FlashRealConfig{
+		Dir: t.TempDir(), Requests: 60_000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]FlashRealResult{}
+	for _, r := range rows {
+		if r.Requests == 0 || r.FlashBytesWritten == 0 {
+			t.Errorf("%s: empty measurement: %+v", r.Admission, r)
+		}
+		byName[r.Admission] = r
+	}
+	all, ghost := byName["all"], byName["ghost"]
+	// The PR's acceptance criterion: ghost-hit admission must write
+	// strictly fewer flash bytes than admit-all at an equal-or-better
+	// total hit ratio.
+	if ghost.FlashBytesWritten >= all.FlashBytesWritten {
+		t.Errorf("ghost wrote %d bytes, admit-all %d", ghost.FlashBytesWritten, all.FlashBytesWritten)
+	}
+	if ghost.HitRatio < all.HitRatio {
+		t.Errorf("ghost hit ratio %.4f below admit-all %.4f", ghost.HitRatio, all.HitRatio)
+	}
+}

@@ -220,6 +220,14 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 		fmt.Fprintf(w, "STAT sets %d\r\n", st.Sets)
 		fmt.Fprintf(w, "STAT evictions %d\r\n", st.Evictions)
 		fmt.Fprintf(w, "STAT expired %d\r\n", st.Expired)
+		fmt.Fprintf(w, "STAT dram_hits %d\r\n", st.DRAMHits)
+		fmt.Fprintf(w, "STAT flash_hits %d\r\n", st.FlashHits)
+		fmt.Fprintf(w, "STAT flash_bytes_written %d\r\n", st.FlashBytesWritten)
+		fmt.Fprintf(w, "STAT flash_gc_bytes %d\r\n", st.FlashGCBytes)
+		fmt.Fprintf(w, "STAT flash_segments %d\r\n", st.FlashSegments)
+		fmt.Fprintf(w, "STAT flash_entries %d\r\n", st.FlashEntries)
+		fmt.Fprintf(w, "STAT demotions %d\r\n", st.Demotions)
+		fmt.Fprintf(w, "STAT demotions_declined %d\r\n", st.DemotionsDeclined)
 		fmt.Fprintf(w, "STAT entries %d\r\n", s.cache.Len())
 		fmt.Fprintf(w, "STAT bytes %d\r\n", s.cache.Used())
 		fmt.Fprintf(w, "STAT capacity %d\r\n", s.cache.Capacity())

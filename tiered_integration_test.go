@@ -1,0 +1,142 @@
+package s3fifo
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+
+	"s3fifo/cache"
+	"s3fifo/client"
+	"s3fifo/internal/server"
+)
+
+// startTiered brings up a server over a tiered cache on a real TCP
+// listener and returns a connected client plus a shutdown func.
+func startTiered(t *testing.T, dir string) (*cache.Cache, *client.Client, func()) {
+	t.Helper()
+	c, err := cache.New(cache.Config{
+		MaxBytes:          4 << 10,
+		Shards:            2,
+		FlashDir:          dir,
+		FlashBytes:        512 << 10,
+		FlashSegmentBytes: 32 << 10,
+		Admission:         "all",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(c)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	cl, err := client.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, cl, func() {
+		cl.Close()
+		srv.Close()
+		c.Close()
+	}
+}
+
+// TestTieredEndToEnd drives a server with a flash tier over real TCP:
+// sets flood the small DRAM tier so evictions demote to flash, re-reads
+// come back correct from either tier, and the stats command reports the
+// per-tier counters consistently.
+func TestTieredEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	_, cl, shutdown := startTiered(t, dir)
+
+	const n = 120
+	val := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i%26)}, 100)
+	}
+	for i := 0; i < n; i++ {
+		if ok, err := cl.Set(fmt.Sprintf("key-%04d", i), val(i)); err != nil || !ok {
+			t.Fatalf("set %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// DRAM holds ~40 of these 120 entries; the rest must come off flash.
+	missing := 0
+	for i := 0; i < n; i++ {
+		v, ok, err := cl.Get(fmt.Sprintf("key-%04d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			missing++
+			continue
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Fatalf("key-%04d: wrong value back", i)
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d of %d keys missing despite flash capacity for all", missing, n)
+	}
+
+	st, err := cl.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FlashHits == 0 {
+		t.Error("no flash hits over TCP")
+	}
+	if st.Demotions == 0 {
+		t.Error("no demotions recorded")
+	}
+	if st.Hits != st.DRAMHits+st.FlashHits {
+		t.Errorf("hits %d != dram %d + flash %d", st.Hits, st.DRAMHits, st.FlashHits)
+	}
+	if st.FlashBytesWritten == 0 || st.FlashSegments == 0 || st.FlashEntries == 0 {
+		t.Errorf("flash counters not reported: %+v", st)
+	}
+	if st.Sets != n {
+		t.Errorf("sets = %d, want %d", st.Sets, n)
+	}
+
+	// Deletes must remove the flash copy too.
+	if ok, err := cl.Delete("key-0000"); err != nil || !ok {
+		t.Fatalf("delete: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := cl.Get("key-0000"); ok {
+		t.Error("deleted key still served")
+	}
+
+	shutdown()
+
+	// Restart the whole stack on the same flash dir: the recovered index
+	// must keep serving values that only live on flash.
+	_, cl2, shutdown2 := startTiered(t, dir)
+	defer shutdown2()
+	st2, err := cl2.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.FlashEntries == 0 {
+		t.Fatal("no flash entries recovered after restart")
+	}
+	hits := 0
+	for i := 1; i < n; i++ {
+		v, ok, err := cl2.Get(fmt.Sprintf("key-%04d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			hits++
+			if !bytes.Equal(v, val(i)) {
+				t.Fatalf("key-%04d: wrong value after restart", i)
+			}
+		}
+	}
+	if uint64(hits) < st2.FlashEntries {
+		t.Errorf("served %d keys after restart, flash recovered %d", hits, st2.FlashEntries)
+	}
+	if _, ok, _ := cl2.Get("key-0000"); ok {
+		t.Error("tombstoned key resurrected by restart")
+	}
+}
