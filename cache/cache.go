@@ -4,10 +4,16 @@
 // (SOSP '23), with every baseline algorithm from the paper's evaluation
 // available behind the same interface.
 //
-// The cache is sharded: each shard pairs an eviction policy instance with
-// its own value store and mutex, so Get/Set scale across cores while each
-// policy sees a consistent view. S3-FIFO's hit path only bumps a 2-bit
-// frequency counter, which keeps the critical section tiny.
+// The facade delegates residency to a pluggable eviction Engine
+// (Config.Engine) and layers TTLs, snapshots, statistics, and the
+// optional flash tier on top. Two engines ship:
+//
+//   - "policy" (default): mutex-per-shard, wrapping any of the ~25
+//     eviction algorithms behind Config.Policy.
+//   - "concurrent": the lock-free S3-FIFO from internal/concurrent —
+//     hits take no locks at all (hash lookup plus one capped atomic
+//     frequency bump), only misses serialize on a queue shard. It
+//     implements only the s3fifo policy.
 //
 // Basic usage:
 //
@@ -17,7 +23,8 @@
 //	if v, ok := c.Get("user:42"); ok { ... }
 //
 // Choose a different eviction algorithm ("lru", "arc", "tinylfu", ...)
-// with Config.Policy; cache.Policies lists the options.
+// with Config.Policy; cache.Policies lists the options. Choose the
+// serving engine with Config.Engine; cache.Engines lists the options.
 package cache
 
 import (
@@ -25,7 +32,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"s3fifo/internal/core"
 	"s3fifo/internal/policy"
@@ -37,12 +43,17 @@ type Config struct {
 	// MaxBytes is the total capacity across all shards, counting
 	// len(key) + len(value) per entry. Required.
 	MaxBytes uint64
+	// Engine selects the serving engine: "policy" (default) or
+	// "concurrent". See Engines for the list and the package comment for
+	// the tradeoff.
+	Engine string
 	// Policy selects the eviction algorithm. Default "s3fifo".
-	// See Policies for the full list.
+	// See Policies for the full list. The "concurrent" engine implements
+	// only "s3fifo".
 	Policy string
-	// Shards is the number of independent shards (default 16; clamped to
-	// a power of two). More shards mean less lock contention and slightly
-	// less accurate global eviction order.
+	// Shards is the number of independent shards (default 16 for the
+	// policy engine; clamped to a power of two). More shards mean less
+	// lock contention and slightly less accurate global eviction order.
 	Shards int
 	// SmallQueueRatio overrides S3-FIFO's small-queue fraction (default
 	// 0.10). Ignored for other policies.
@@ -50,8 +61,18 @@ type Config struct {
 	// OnEvict, when set, is called after an entry leaves the cache due to
 	// eviction (not Delete). With a flash tier it fires only when the
 	// entry leaves the cache entirely (declined by flash admission), not
-	// on demotion to flash. It runs while the shard lock is held: keep
-	// it short and do not call back into the cache.
+	// on demotion to flash.
+	//
+	// Callback semantics are the same on both engines: the engine reports
+	// evictions while holding internal locks, so the facade defers the
+	// callback to a queue and drains it with no locks held, on whichever
+	// goroutine's Set (or flash promotion) triggered or next observes the
+	// eviction. The callback may therefore safely call back into the
+	// cache (Get/Set/Delete); the only guarantee forfeited is that the
+	// callback runs before the triggering Set returns on *some other*
+	// goroutine's behalf under concurrency. Within a single goroutine,
+	// callbacks for evictions caused by a Set are delivered before that
+	// Set returns.
 	OnEvict func(key string, value []byte)
 
 	// FlashDir, when non-empty, adds a flash tier: a log-structured
@@ -109,30 +130,27 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Cache is a sharded, thread-safe cache, optionally backed by a flash
-// tier (Config.FlashDir). Create one with New; call Close when a flash
-// tier is configured.
+// Cache is a thread-safe cache over a pluggable eviction engine,
+// optionally backed by a flash tier (Config.FlashDir). Create one with
+// New; call Close when a flash tier is configured.
 type Cache struct {
-	shards []*shard
-	mask   uint64
-	flash  *flashTier // nil without a flash tier
+	engine  Engine
+	flash   *flashTier // nil without a flash tier
+	onEvict func(key string, value []byte)
+
+	// Deferred OnEvict deliveries: engines report evictions under their
+	// internal locks, so callbacks queue here and drain lock-free.
+	evictMu sync.Mutex
+	evictQ  []evictedPair
+
+	dramHits atomic.Uint64
+	misses   atomic.Uint64
+	sets     atomic.Uint64
 }
 
-type shard struct {
-	mu      sync.Mutex
-	engine  policy.Policy
-	entries map[string]*entry // live values
-	ids     map[uint64]string // engine ID -> key
-	stats   Stats
-	onEvict func(string, []byte)
-	tier    *flashTier // nil without a flash tier
-}
-
-type entry struct {
-	id        uint64
-	value     []byte
-	size      uint32
-	expiresAt time.Time // zero = no TTL
+type evictedPair struct {
+	key   string
+	value []byte
 }
 
 // Policies returns the available eviction algorithm names, sorted.
@@ -145,63 +163,35 @@ func Policies() []string {
 	return names
 }
 
-// New creates a Cache. It returns an error for a zero capacity or an
-// unknown policy name.
+// New creates a Cache. It returns an error for a zero capacity, an
+// unknown policy or engine name, or an engine/policy mismatch.
 func New(cfg Config) (*Cache, error) {
 	if cfg.MaxBytes == 0 {
 		return nil, fmt.Errorf("cache: MaxBytes must be positive")
 	}
-	if cfg.Policy == "" {
-		cfg.Policy = "s3fifo"
-	}
-	nShards := cfg.Shards
-	if nShards <= 0 {
-		nShards = 16
-	}
-	// Round down to a power of two for cheap masking.
-	for nShards&(nShards-1) != 0 {
-		nShards &= nShards - 1
-	}
-	perShard := cfg.MaxBytes / uint64(nShards)
-	if perShard == 0 {
-		nShards = 1
-		perShard = cfg.MaxBytes
-	}
-
-	mk := func() (policy.Policy, error) {
-		if cfg.Policy == "s3fifo" && cfg.SmallQueueRatio > 0 {
-			return core.NewS3FIFO(perShard, core.Options{SmallRatio: cfg.SmallQueueRatio}), nil
-		}
-		if f, ok := core.Factories()[cfg.Policy]; ok {
-			return f(perShard), nil
-		}
-		return policy.New(cfg.Policy, perShard)
-	}
-
-	c := &Cache{mask: uint64(nShards - 1)}
+	c := &Cache{onEvict: cfg.OnEvict}
 	tier, err := newFlashTier(cfg)
 	if err != nil {
 		return nil, err
 	}
 	c.flash = tier
-	for i := 0; i < nShards; i++ {
-		engine, err := mk()
-		if err != nil {
-			if tier != nil {
-				tier.store.Close()
-			}
-			return nil, err
-		}
-		s := &shard{
-			engine:  engine,
-			entries: make(map[string]*entry),
-			ids:     make(map[uint64]string),
-			onEvict: cfg.OnEvict,
-			tier:    tier,
-		}
-		engine.SetObserver(s.evicted)
-		c.shards = append(c.shards, s)
+
+	// The engine gets an eviction hook only when someone listens: the
+	// flash tier (demotion point) or the user's OnEvict. The hook runs
+	// under engine locks — it demotes inline (flash has its own lock,
+	// ordered strictly after the engine's) and defers user callbacks.
+	var hook func(EngineEviction)
+	if tier != nil || cfg.OnEvict != nil {
+		hook = c.noteEviction
 	}
+	eng, err := newEngine(cfg, hook)
+	if err != nil {
+		if tier != nil {
+			tier.store.Close()
+		}
+		return nil, err
+	}
+	c.engine = eng
 	return c, nil
 }
 
@@ -214,34 +204,51 @@ func (c *Cache) Close() error {
 	return c.flash.store.Close()
 }
 
-// evicted is the policy's eviction observer; it runs under the shard lock
-// (policies only evict inside Request/Delete calls, which we serialize).
-// With a flash tier, this is the demotion point: the admission policy
-// sees the entry's frequency-at-eviction and decides whether the value
-// is written to the flash log.
-func (s *shard) evicted(ev policy.Eviction) {
-	key, ok := s.ids[ev.Key]
-	if !ok {
+// Engine returns the name of the serving engine ("policy" or
+// "concurrent").
+func (c *Cache) Engine() string { return c.engine.Name() }
+
+// noteEviction is the engine's eviction hook. It runs under engine locks:
+// the flash demotion decision happens inline (this ordering is what makes
+// a Set's flash tombstone supersede the demoted copy — see tiered.go),
+// while user callbacks are queued and drained later with no locks held.
+func (c *Cache) noteEviction(ev EngineEviction) {
+	demoted := false
+	if c.flash != nil && !ev.expired() {
+		demoted = c.flash.demote(ev)
+	}
+	if c.onEvict != nil && !demoted {
+		c.evictMu.Lock()
+		c.evictQ = append(c.evictQ, evictedPair{key: ev.Key, value: ev.Value})
+		c.evictMu.Unlock()
+	}
+}
+
+// drainEvictions delivers queued OnEvict callbacks with no locks held, so
+// a callback may freely call back into the cache.
+func (c *Cache) drainEvictions() {
+	if c.onEvict == nil {
 		return
 	}
-	e := s.entries[key]
-	delete(s.ids, ev.Key)
-	delete(s.entries, key)
-	s.stats.Evictions++
-	demoted := false
-	if s.tier != nil && e != nil && !e.expired() {
-		demoted = s.tier.demote(key, e, ev)
-	}
-	if s.onEvict != nil && e != nil && !demoted {
-		s.onEvict(key, e.value)
+	for {
+		c.evictMu.Lock()
+		if len(c.evictQ) == 0 {
+			c.evictMu.Unlock()
+			return
+		}
+		q := c.evictQ
+		c.evictQ = nil
+		c.evictMu.Unlock()
+		for _, p := range q {
+			c.onEvict(p.key, p.value)
+		}
 	}
 }
 
-func (c *Cache) shardFor(key string) *shard {
-	return c.shards[hashString(key)&c.mask]
-}
-
-// hashString is FNV-1a folded through the repository's 64-bit mixer.
+// hashString is FNV-1a folded through the repository's 64-bit mixer. The
+// facade uses it for flash admission IDs; the policy engine reuses it for
+// policy IDs so a re-inserted key presents the same ID to the ghost
+// queue.
 func hashString(key string) uint64 {
 	h := uint64(1469598103934665603)
 	for i := 0; i < len(key); i++ {
@@ -252,109 +259,76 @@ func hashString(key string) uint64 {
 }
 
 // Get returns the value stored for key. A lookup counts as a cache hit or
-// miss in Stats and feeds the eviction policy's access tracking. With a
+// miss in Stats and feeds the eviction engine's access tracking. With a
 // flash tier, a DRAM miss falls through to the flash index; a flash hit
 // promotes the entry back into DRAM (lazy promotion — the flash copy
 // stays valid, so a later re-demotion costs no second write).
 func (c *Cache) Get(key string) ([]byte, bool) {
-	s := c.shardFor(key)
-	s.mu.Lock()
-	if e, ok := s.entries[key]; ok {
-		if !e.expired() {
-			s.stats.DRAMHits++
-			s.engine.Request(e.id, e.size) // resident: pure hit, no insertion
-			v := e.value
-			s.mu.Unlock()
-			return v, true
-		}
-		s.expireLocked(key, e)
+	if v, ok := c.engine.Get(key); ok {
+		c.dramHits.Add(1)
+		return v, true
 	}
 	if c.flash == nil {
-		s.stats.Misses++
-		s.mu.Unlock()
+		c.misses.Add(1)
 		return nil, false
 	}
-	s.mu.Unlock()
-	// Flash lookup runs outside the shard lock: it is disk I/O.
+	// Flash lookup runs outside any engine lock: it is disk I/O.
 	v, expires, ok := c.flash.store.Get(key)
 	if !ok {
-		s.mu.Lock()
-		s.stats.Misses++
-		s.mu.Unlock()
+		c.misses.Add(1)
 		return nil, false
 	}
 	c.promote(key, v, expires)
 	return v, true
 }
 
-// Set stores value under key, evicting other entries as needed. It
-// returns false when the entry cannot be admitted (larger than a shard).
-// Setting an existing key replaces its value; if the size changed, the
-// entry is re-admitted as a fresh insertion. With a flash tier, a Set
-// supersedes any flash copy of the key, and the ghost admission policy
-// may write the value through to flash (a re-Set of a recently declined
-// key proves reuse).
-func (c *Cache) Set(key string, value []byte) bool {
-	s := c.shardFor(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Sets++
-	id, ok := s.insertLocked(key, value)
-	if c.flash != nil {
-		c.flash.onSet(key, id, value, ok)
-	}
-	return ok
+// promote inserts a flash-hit value back into DRAM. Add, not Set: a
+// resident entry means a concurrent Set won the race and must not be
+// clobbered by the older flash copy. The flash copy is left in place:
+// until the key is Set again, the copies agree, and the next demotion is
+// free.
+func (c *Cache) promote(key string, value []byte, expires int64) {
+	c.engine.Add(key, value, expires)
+	c.drainEvictions()
 }
 
-// insertLocked is the tier-agnostic DRAM insertion path shared by Set and
-// flash promotion. The caller holds the shard lock.
-func (s *shard) insertLocked(key string, value []byte) (uint64, bool) {
-	size := entrySize(key, value)
+// Set stores value under key, evicting other entries as needed. It
+// returns false when the entry cannot be admitted (larger than a shard).
+// Setting an existing key replaces its value and clears any TTL. With a
+// flash tier, a Set supersedes any flash copy of the key, and the ghost
+// admission policy may write the value through to flash (a re-Set of a
+// recently declined key proves reuse).
+func (c *Cache) Set(key string, value []byte) bool {
+	c.sets.Add(1)
+	return c.set(key, value, 0)
+}
 
-	if e, ok := s.entries[key]; ok {
-		if e.size == size {
-			e.value = value
-			e.expiresAt = time.Time{} // a plain Set clears any TTL
-			return e.id, true
+// set is the shared store path: engine insert, then flash supersession.
+// The order matters — engines serialize the eviction hook for a key with
+// Set/Delete of that key, so by the time engine.Set returns, no demotion
+// of the old value can still be in flight, and the flash tombstone below
+// settles last.
+func (c *Cache) set(key string, value []byte, expiresAt int64) bool {
+	ok := c.engine.Set(key, value, expiresAt)
+	if c.flash != nil {
+		if expiresAt == 0 {
+			c.flash.onSet(key, hashString(key), value, ok)
+		} else {
+			// A TTL'd value never writes through; tombstone any stale flash
+			// copy so flash cannot serve past the expiry, even after a
+			// restart. A later demotion carries the TTL into the flash
+			// record.
+			c.flash.store.Delete(key)
 		}
-		s.engine.Delete(e.id)
-		delete(s.ids, e.id)
-		delete(s.entries, key)
 	}
-
-	// IDs are derived from the key so a re-inserted key presents the same
-	// ID to the policy — this is what lets S3-FIFO's ghost queue recognize
-	// recently evicted objects. A 64-bit collision between two live keys
-	// is vanishingly unlikely; if one occurs, the older entry is dropped.
-	id := hashString(key)
-	if prev, ok := s.ids[id]; ok && prev != key {
-		s.engine.Delete(id)
-		delete(s.entries, prev)
-		delete(s.ids, id)
-	}
-	s.entries[key] = &entry{id: id, value: value, size: size}
-	s.ids[id] = key
-	s.engine.Request(id, size) // miss-insert; may evict others
-	if !s.engine.Contains(id) {
-		// Rejected (oversized for the shard): undo bookkeeping.
-		delete(s.ids, id)
-		delete(s.entries, key)
-		return id, false
-	}
-	return id, true
+	c.drainEvictions()
+	return ok
 }
 
 // Delete removes key from every tier if present. It does not fire
 // OnEvict.
 func (c *Cache) Delete(key string) {
-	s := c.shardFor(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.entries[key]; ok {
-		s.engine.Delete(e.id)
-		delete(s.ids, e.id)
-		delete(s.entries, key)
-	}
+	c.engine.Delete(key)
 	if c.flash != nil {
 		c.flash.store.Delete(key)
 	}
@@ -363,65 +337,34 @@ func (c *Cache) Delete(key string) {
 // Contains reports whether key is cached in either tier, without
 // recording a hit or promoting.
 func (c *Cache) Contains(key string) bool {
-	s := c.shardFor(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[key]
-	if ok && e.expired() {
-		s.expireLocked(key, e)
-		ok = false
+	if c.engine.Contains(key) {
+		return true
 	}
-	if !ok && c.flash != nil {
+	if c.flash != nil {
 		return c.flash.store.Contains(key)
 	}
-	return ok
+	return false
 }
 
 // Len returns the number of cached entries.
-func (c *Cache) Len() int {
-	n := 0
-	for _, s := range c.shards {
-		s.mu.Lock()
-		n += len(s.entries)
-		s.mu.Unlock()
-	}
-	return n
-}
+func (c *Cache) Len() int { return c.engine.Len() }
 
 // Used returns the cached bytes (keys + values).
-func (c *Cache) Used() uint64 {
-	var n uint64
-	for _, s := range c.shards {
-		s.mu.Lock()
-		n += s.engine.Used()
-		s.mu.Unlock()
-	}
-	return n
-}
+func (c *Cache) Used() uint64 { return c.engine.Used() }
 
 // Capacity returns the configured capacity in bytes (summed over shards;
 // rounding may make it slightly below Config.MaxBytes).
-func (c *Cache) Capacity() uint64 {
-	var n uint64
-	for _, s := range c.shards {
-		n += s.engine.Capacity()
-	}
-	return n
-}
+func (c *Cache) Capacity() uint64 { return c.engine.Capacity() }
 
-// Stats returns cumulative counters aggregated over shards and, when a
-// flash tier is configured, the flash store.
+// Stats returns cumulative counters aggregated over the engine and, when
+// a flash tier is configured, the flash store.
 func (c *Cache) Stats() Stats {
 	var out Stats
-	for _, s := range c.shards {
-		s.mu.Lock()
-		out.DRAMHits += s.stats.DRAMHits
-		out.Misses += s.stats.Misses
-		out.Sets += s.stats.Sets
-		out.Evictions += s.stats.Evictions
-		out.Expired += s.stats.Expired
-		s.mu.Unlock()
-	}
+	out.DRAMHits = c.dramHits.Load()
+	out.Misses = c.misses.Load()
+	out.Sets = c.sets.Load()
+	out.Evictions = c.engine.Evictions()
+	out.Expired = c.engine.Expired()
 	out.Hits = out.DRAMHits
 	if c.flash != nil {
 		fst := c.flash.store.Stats()

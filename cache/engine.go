@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Engine is the eviction engine under the cache facade: a string-keyed,
+// byte-budgeted store that decides what stays resident. Everything above
+// eviction — TTL bookkeeping, the flash tier, snapshots, the TCP server,
+// both binaries — programs against this interface, so the serving stack
+// can run on either the policy-backed sharded engine (any of the ~25
+// baseline algorithms) or the lock-free concurrent S3-FIFO.
+//
+// Concurrency contract: all methods are safe for concurrent use. The
+// eviction hook (engineConfig.onEvict) may be invoked with internal
+// engine locks held; implementations guarantee only that the hook for a
+// given key cannot still be in flight after a Set or Delete of that key
+// has returned. Hooks must not call back into the engine.
+type Engine interface {
+	// Name returns the engine name ("policy" or "concurrent").
+	Name() string
+	// Get returns the value for key and whether it was resident and
+	// unexpired. Expired entries are reaped lazily.
+	Get(key string) ([]byte, bool)
+	// Set inserts or replaces key with the given absolute expiry in unix
+	// nanoseconds (0 = no TTL). It returns false when the entry cannot fit
+	// (oversized for the engine's sharding), in which case any stale copy
+	// of key has been dropped.
+	Set(key string, value []byte, expiresAt int64) bool
+	// Add inserts only if key is not resident (the flash-promotion path).
+	// It reports whether the insert happened.
+	Add(key string, value []byte, expiresAt int64) bool
+	// Delete removes key and reports whether it was resident. The eviction
+	// hook is not invoked for deletes.
+	Delete(key string) bool
+	// Contains reports residency without perturbing eviction state.
+	Contains(key string) bool
+	// Len returns the number of resident entries.
+	Len() int
+	// Used returns the resident bytes (keys + values).
+	Used() uint64
+	// Capacity returns the configured byte capacity.
+	Capacity() uint64
+	// Range visits resident, unexpired entries; fn returning false stops
+	// the walk. Used by snapshots; concurrent mutations may or may not be
+	// observed.
+	Range(fn func(key string, value []byte, expiresAt int64) bool)
+	// Evictions returns the cumulative count of capacity evictions.
+	Evictions() uint64
+	// Expired returns the cumulative count of lazily reaped TTL expiries.
+	Expired() uint64
+}
+
+// EngineEviction describes one capacity eviction as seen by the engine's
+// hook: the victim's key, value, charged size, S3-FIFO frequency at
+// eviction (0 for engines without a frequency counter), and absolute
+// expiry (0 = none). The flash tier's demotion decision consumes all of
+// these.
+type EngineEviction struct {
+	Key       string
+	Value     []byte
+	Size      uint32
+	Freq      int
+	ExpiresAt int64
+}
+
+// engineConfig is what a facade Config boils down to by the time an
+// engine is constructed.
+type engineConfig struct {
+	maxBytes        uint64
+	shards          int
+	policy          string
+	smallQueueRatio float64
+	// onEvict observes every capacity eviction. May run under engine
+	// locks; see the Engine contract.
+	onEvict func(EngineEviction)
+}
+
+// engineFactories maps engine names to constructors. "policy" is the
+// mutex-per-shard engine wrapping any policy.Policy; "concurrent" is the
+// lock-free S3-FIFO from internal/concurrent.
+var engineFactories = map[string]func(engineConfig) (Engine, error){
+	"policy":     newPolicyEngine,
+	"concurrent": newConcurrentEngine,
+}
+
+// Engines returns the available engine names, sorted.
+func Engines() []string {
+	names := make([]string, 0, len(engineFactories))
+	for name := range engineFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newEngine validates the engine selection against the rest of the
+// config and constructs it.
+func newEngine(cfg Config, onEvict func(EngineEviction)) (Engine, error) {
+	name := cfg.Engine
+	if name == "" {
+		name = "policy"
+	}
+	factory, ok := engineFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("cache: unknown engine %q (have %v)", name, Engines())
+	}
+	if name == "concurrent" && cfg.Policy != "" && cfg.Policy != "s3fifo" {
+		return nil, fmt.Errorf("cache: engine %q implements only the s3fifo policy, not %q", name, cfg.Policy)
+	}
+	return factory(engineConfig{
+		maxBytes:        cfg.MaxBytes,
+		shards:          cfg.Shards,
+		policy:          cfg.Policy,
+		smallQueueRatio: cfg.SmallQueueRatio,
+		onEvict:         onEvict,
+	})
+}

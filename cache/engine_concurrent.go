@@ -1,0 +1,67 @@
+package cache
+
+import "s3fifo/internal/concurrent"
+
+// concurrentEngine adapts the lock-free S3-FIFO KV from
+// internal/concurrent to the Engine interface. Hits are lock-free (hash
+// lookup, key verification, capped atomic frequency bump); only misses
+// and evictions take a queue-shard mutex. It implements exactly one
+// policy — s3fifo — which Config validation enforces.
+//
+// The eviction hook runs under the owning queue shard's mutex. The KV
+// serializes overwrites and deletes on that same mutex whenever a hook is
+// configured, which is what lets the facade order its flash-tier
+// tombstones after in-flight demotions (see cache/tiered.go).
+type concurrentEngine struct {
+	kv *concurrent.KV
+}
+
+func newConcurrentEngine(cfg engineConfig) (Engine, error) {
+	var hook func(key string, value []byte, size uint32, freq int, expiresAt int64)
+	if cfg.onEvict != nil {
+		cb := cfg.onEvict
+		hook = func(key string, value []byte, size uint32, freq int, expiresAt int64) {
+			cb(EngineEviction{Key: key, Value: value, Size: size, Freq: freq, ExpiresAt: expiresAt})
+		}
+	}
+	kv := concurrent.NewKV(concurrent.KVConfig{
+		MaxBytes:   cfg.maxBytes,
+		Shards:     cfg.shards,
+		SmallRatio: cfg.smallQueueRatio,
+		// TTL checks share the facade's clock so fake-clock tests drive
+		// both engines identically.
+		Now:     func() int64 { return now().UnixNano() },
+		OnEvict: hook,
+	})
+	return &concurrentEngine{kv: kv}, nil
+}
+
+func (e *concurrentEngine) Name() string { return "concurrent" }
+
+func (e *concurrentEngine) Get(key string) ([]byte, bool) { return e.kv.Get(key) }
+
+func (e *concurrentEngine) Set(key string, value []byte, expiresAt int64) bool {
+	return e.kv.Set(key, value, expiresAt)
+}
+
+func (e *concurrentEngine) Add(key string, value []byte, expiresAt int64) bool {
+	return e.kv.Add(key, value, expiresAt)
+}
+
+func (e *concurrentEngine) Delete(key string) bool { return e.kv.Delete(key) }
+
+func (e *concurrentEngine) Contains(key string) bool { return e.kv.Contains(key) }
+
+func (e *concurrentEngine) Len() int { return e.kv.Len() }
+
+func (e *concurrentEngine) Used() uint64 { return e.kv.Used() }
+
+func (e *concurrentEngine) Capacity() uint64 { return e.kv.Capacity() }
+
+func (e *concurrentEngine) Range(fn func(key string, value []byte, expiresAt int64) bool) {
+	e.kv.Range(fn)
+}
+
+func (e *concurrentEngine) Evictions() uint64 { return e.kv.Evictions() }
+
+func (e *concurrentEngine) Expired() uint64 { return e.kv.Expired() }

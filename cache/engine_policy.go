@@ -1,0 +1,280 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"s3fifo/internal/core"
+	"s3fifo/internal/policy"
+)
+
+// policyEngine is the mutex-per-shard engine wrapping any policy.Policy:
+// each shard pairs a policy instance with its own value store and mutex,
+// so every one of the repository's ~25 eviction algorithms serves the
+// same Engine interface. Hits take the shard lock (S3-FIFO's hit path
+// only bumps a 2-bit counter, keeping that critical section tiny); the
+// eviction hook runs under the shard lock, inside the policy's eviction
+// callback.
+type policyEngine struct {
+	shards    []*policyShard
+	mask      uint64
+	onEvict   func(EngineEviction)
+	evictions atomic.Uint64
+	expired   atomic.Uint64
+}
+
+type policyShard struct {
+	mu      sync.Mutex
+	pol     policy.Policy
+	entries map[string]*pentry // live values
+	ids     map[uint64]string  // policy ID -> key
+	eng     *policyEngine
+}
+
+type pentry struct {
+	id        uint64
+	value     []byte
+	size      uint32
+	expiresAt int64 // unix nanoseconds; 0 = no TTL
+}
+
+// expired reports whether e has a TTL that has passed (strictly: at the
+// exact expiry instant the entry still serves).
+func (e *pentry) expired() bool {
+	return e.expiresAt != 0 && now().UnixNano() > e.expiresAt
+}
+
+func newPolicyEngine(cfg engineConfig) (Engine, error) {
+	pol := cfg.policy
+	if pol == "" {
+		pol = "s3fifo"
+	}
+	nShards := cfg.shards
+	if nShards <= 0 {
+		nShards = 16
+	}
+	// Round down to a power of two for cheap masking.
+	for nShards&(nShards-1) != 0 {
+		nShards &= nShards - 1
+	}
+	perShard := cfg.maxBytes / uint64(nShards)
+	if perShard == 0 {
+		nShards = 1
+		perShard = cfg.maxBytes
+	}
+
+	mk := func() (policy.Policy, error) {
+		if pol == "s3fifo" && cfg.smallQueueRatio > 0 {
+			return core.NewS3FIFO(perShard, core.Options{SmallRatio: cfg.smallQueueRatio}), nil
+		}
+		if f, ok := core.Factories()[pol]; ok {
+			return f(perShard), nil
+		}
+		return policy.New(pol, perShard)
+	}
+
+	pe := &policyEngine{mask: uint64(nShards - 1), onEvict: cfg.onEvict}
+	for i := 0; i < nShards; i++ {
+		p, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		s := &policyShard{
+			pol:     p,
+			entries: make(map[string]*pentry),
+			ids:     make(map[uint64]string),
+			eng:     pe,
+		}
+		p.SetObserver(s.evicted)
+		pe.shards = append(pe.shards, s)
+	}
+	return pe, nil
+}
+
+func (pe *policyEngine) Name() string { return "policy" }
+
+func (pe *policyEngine) shardFor(key string) *policyShard {
+	return pe.shards[hashString(key)&pe.mask]
+}
+
+// evicted is the policy's eviction observer; it runs under the shard lock
+// (policies only evict inside Request/Delete calls, which we serialize).
+// Expired victims are still reported as evictions — the hook receives the
+// expiry and decides (the flash tier declines them).
+func (s *policyShard) evicted(ev policy.Eviction) {
+	key, ok := s.ids[ev.Key]
+	if !ok {
+		return
+	}
+	e := s.entries[key]
+	delete(s.ids, ev.Key)
+	delete(s.entries, key)
+	s.eng.evictions.Add(1)
+	if s.eng.onEvict != nil && e != nil {
+		s.eng.onEvict(EngineEviction{
+			Key:       key,
+			Value:     e.value,
+			Size:      ev.Size,
+			Freq:      ev.Freq,
+			ExpiresAt: e.expiresAt,
+		})
+	}
+}
+
+func (pe *policyEngine) Get(key string) ([]byte, bool) {
+	s := pe.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	if e.expired() {
+		s.expireLocked(key, e)
+		return nil, false
+	}
+	s.pol.Request(e.id, e.size) // resident: pure hit, no insertion
+	return e.value, true
+}
+
+func (pe *policyEngine) Set(key string, value []byte, expiresAt int64) bool {
+	s := pe.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insertLocked(key, value, expiresAt)
+}
+
+func (pe *policyEngine) Add(key string, value []byte, expiresAt int64) bool {
+	s := pe.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		if !e.expired() {
+			return false // resident wins over a promotion
+		}
+		s.expireLocked(key, e)
+	}
+	return s.insertLocked(key, value, expiresAt)
+}
+
+// insertLocked is the insertion path shared by Set and Add. The caller
+// holds the shard lock.
+func (s *policyShard) insertLocked(key string, value []byte, expiresAt int64) bool {
+	size := entrySize(key, value)
+
+	if e, ok := s.entries[key]; ok {
+		if e.size == size {
+			e.value = value
+			e.expiresAt = expiresAt // a plain Set passes 0, clearing any TTL
+			return true
+		}
+		s.pol.Delete(e.id)
+		delete(s.ids, e.id)
+		delete(s.entries, key)
+	}
+
+	// IDs are derived from the key so a re-inserted key presents the same
+	// ID to the policy — this is what lets S3-FIFO's ghost queue recognize
+	// recently evicted objects. A 64-bit collision between two live keys
+	// is vanishingly unlikely; if one occurs, the older entry is dropped.
+	id := hashString(key)
+	if prev, ok := s.ids[id]; ok && prev != key {
+		s.pol.Delete(id)
+		delete(s.entries, prev)
+		delete(s.ids, id)
+	}
+	s.entries[key] = &pentry{id: id, value: value, size: size, expiresAt: expiresAt}
+	s.ids[id] = key
+	s.pol.Request(id, size) // miss-insert; may evict others
+	if !s.pol.Contains(id) {
+		// Rejected (oversized for the shard): undo bookkeeping.
+		delete(s.ids, id)
+		delete(s.entries, key)
+		return false
+	}
+	return true
+}
+
+func (pe *policyEngine) Delete(key string) bool {
+	s := pe.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	s.pol.Delete(e.id)
+	delete(s.ids, e.id)
+	delete(s.entries, key)
+	return true
+}
+
+func (pe *policyEngine) Contains(key string) bool {
+	s := pe.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return false
+	}
+	if e.expired() {
+		s.expireLocked(key, e)
+		return false
+	}
+	return true
+}
+
+// expireLocked removes an expired entry; the caller holds the shard lock.
+func (s *policyShard) expireLocked(key string, e *pentry) {
+	s.pol.Delete(e.id)
+	delete(s.ids, e.id)
+	delete(s.entries, key)
+	s.eng.expired.Add(1)
+}
+
+func (pe *policyEngine) Len() int {
+	n := 0
+	for _, s := range pe.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (pe *policyEngine) Used() uint64 {
+	var n uint64
+	for _, s := range pe.shards {
+		s.mu.Lock()
+		n += s.pol.Used()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (pe *policyEngine) Capacity() uint64 {
+	var n uint64
+	for _, s := range pe.shards {
+		n += s.pol.Capacity()
+	}
+	return n
+}
+
+func (pe *policyEngine) Range(fn func(key string, value []byte, expiresAt int64) bool) {
+	for _, s := range pe.shards {
+		s.mu.Lock()
+		for key, e := range s.entries {
+			if e.expired() {
+				continue
+			}
+			if !fn(key, e.value, e.expiresAt) {
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (pe *policyEngine) Evictions() uint64 { return pe.evictions.Load() }
+func (pe *policyEngine) Expired() uint64   { return pe.expired.Load() }

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"time"
 )
 
 // Snapshot format: magic, then length-prefixed records
@@ -31,38 +30,25 @@ func (c *Cache) Save(w io.Writer) error {
 		_, err := bw.Write(scratch[:])
 		return err
 	}
-	for _, s := range c.shards {
-		s.mu.Lock()
-		for key, e := range s.entries {
-			if e.expired() {
-				continue
-			}
-			var expiry int64
-			if !e.expiresAt.IsZero() {
-				expiry = e.expiresAt.UnixNano()
-			}
-			if err := writeUint(uint64(len(key))); err != nil {
-				s.mu.Unlock()
-				return err
-			}
-			if _, err := bw.WriteString(key); err != nil {
-				s.mu.Unlock()
-				return err
-			}
-			if err := writeUint(uint64(len(e.value))); err != nil {
-				s.mu.Unlock()
-				return err
-			}
-			if _, err := bw.Write(e.value); err != nil {
-				s.mu.Unlock()
-				return err
-			}
-			if err := writeUint(uint64(expiry)); err != nil {
-				s.mu.Unlock()
-				return err
-			}
+	var rangeErr error
+	c.engine.Range(func(key string, value []byte, expiresAt int64) bool {
+		if rangeErr = writeUint(uint64(len(key))); rangeErr != nil {
+			return false
 		}
-		s.mu.Unlock()
+		if _, rangeErr = bw.WriteString(key); rangeErr != nil {
+			return false
+		}
+		if rangeErr = writeUint(uint64(len(value))); rangeErr != nil {
+			return false
+		}
+		if _, rangeErr = bw.Write(value); rangeErr != nil {
+			return false
+		}
+		rangeErr = writeUint(uint64(expiresAt))
+		return rangeErr == nil
+	})
+	if rangeErr != nil {
+		return rangeErr
 	}
 	if err := writeUint(0); err != nil { // terminator
 		return err
@@ -127,16 +113,11 @@ func Load(r io.Reader, cfg Config) (*Cache, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cache: snapshot truncated: %w", err)
 		}
-		if expiry != 0 {
-			at := time.Unix(0, int64(expiry))
-			if !now().After(at) {
-				if c.Set(string(key), value) {
-					// Reapply the absolute expiry.
-					c.SetWithTTL(string(key), value, at.Sub(now()))
-				}
-			}
-			continue
+		expiresAt := int64(expiry)
+		if expiresAt != 0 && now().UnixNano() > expiresAt {
+			continue // already expired at load time
 		}
-		c.Set(string(key), value)
+		c.sets.Add(1)
+		c.set(string(key), value, expiresAt)
 	}
 }

@@ -12,12 +12,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"s3fifo/internal/flash"
 	"s3fifo/internal/flashsim"
 	"s3fifo/internal/ghost"
-	"s3fifo/internal/policy"
 	"s3fifo/internal/sketch"
 )
 
@@ -97,14 +95,18 @@ func newFlashTier(cfg Config) (*flashTier, error) {
 	return &flashTier{store: store, adm: mk(cfg)}, nil
 }
 
-// demote runs at DRAM eviction, under the shard lock (shard -> flash is
-// the one lock order). It reports whether the entry lives on in the flash
-// tier (written now, or already there from an earlier demotion).
-func (t *flashTier) demote(key string, e *entry, ev policy.Eviction) bool {
-	if len(key) == 0 || len(key) >= flash.MaxKeyLen || len(e.value) > flash.MaxValueLen {
+// demote runs at DRAM eviction, inside the engine's eviction hook and
+// therefore under an engine lock (engine -> flash is the one lock
+// order). It reports whether the entry lives on in the flash tier
+// (written now, or already there from an earlier demotion).
+func (t *flashTier) demote(ev EngineEviction) bool {
+	key := ev.Key
+	if len(key) == 0 || len(key) >= flash.MaxKeyLen || len(ev.Value) > flash.MaxValueLen {
 		return false
 	}
-	if !t.adm.admitEvicted(ev.Key, ev.Size, ev.Freq) {
+	// Admission IDs are hashed from the key so admitEvicted and
+	// admitInsert agree on identity regardless of the serving engine.
+	if !t.adm.admitEvicted(hashString(key), ev.Size, ev.Freq) {
 		atomic.AddUint64(&t.declined, 1)
 		return false
 	}
@@ -115,21 +117,25 @@ func (t *flashTier) demote(key string, e *entry, ev policy.Eviction) bool {
 		atomic.AddUint64(&t.demotedClean, 1)
 		return true
 	}
-	var expires int64
-	if !e.expiresAt.IsZero() {
-		expires = e.expiresAt.UnixNano()
-	}
-	if t.store.Put(key, e.value, expires) != nil {
+	if t.store.Put(key, ev.Value, ev.ExpiresAt) != nil {
 		return false
 	}
 	atomic.AddUint64(&t.demoted, 1)
 	return true
 }
 
-// onSet runs under the shard lock after a Set: the new value supersedes
-// any flash copy (tombstoned, not just dropped from the index, so a
-// stale record can never resurrect on crash recovery), and ghost
-// admission may write it through immediately.
+// expired reports whether the evicted entry's TTL had already passed at
+// eviction time (such victims are never worth a flash write).
+func (ev EngineEviction) expired() bool {
+	return ev.ExpiresAt != 0 && now().UnixNano() > ev.ExpiresAt
+}
+
+// onSet runs after an engine Set: the new value supersedes any flash
+// copy (tombstoned, not just dropped from the index, so a stale record
+// can never resurrect on crash recovery), and ghost admission may write
+// it through immediately. The facade's Set orders this after engine.Set
+// returns, which both engines guarantee is after any in-flight demotion
+// of the superseded value has settled.
 func (t *flashTier) onSet(key string, id uint64, value []byte, stored bool) {
 	t.store.Delete(key)
 	if !stored || len(key) >= flash.MaxKeyLen || len(value) > flash.MaxValueLen {
@@ -139,21 +145,6 @@ func (t *flashTier) onSet(key string, id uint64, value []byte, stored bool) {
 		if t.store.Put(key, value, 0) == nil {
 			atomic.AddUint64(&t.writeThrough, 1)
 		}
-	}
-}
-
-// promote inserts a flash-hit value back into DRAM. The flash copy is
-// left in place: until the key is Set again, the copies agree, and the
-// next demotion is free.
-func (c *Cache) promote(key string, value []byte, expires int64) {
-	s := c.shardFor(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.entries[key]; ok {
-		return // raced with a concurrent Set or promotion
-	}
-	if _, ok := s.insertLocked(key, value); ok && expires != 0 {
-		s.entries[key].expiresAt = time.Unix(0, expires)
 	}
 }
 

@@ -22,6 +22,21 @@ func tieredConfig(dir, admission string) Config {
 	}
 }
 
+// forEachEngine runs fn as a subtest per serving engine: the flash tier
+// must demote, promote, supersede, and recover identically on both.
+func forEachEngine(t *testing.T, fn func(t *testing.T, engine string)) {
+	for _, eng := range Engines() {
+		t.Run("engine="+eng, func(t *testing.T) { fn(t, eng) })
+	}
+}
+
+// engineTieredConfig is tieredConfig pinned to one serving engine.
+func engineTieredConfig(dir, admission, engine string) Config {
+	cfg := tieredConfig(dir, admission)
+	cfg.Engine = engine
+	return cfg
+}
+
 func val(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 100) }
 
 func TestTieredConfigValidation(t *testing.T) {
@@ -49,7 +64,11 @@ func TestTieredConfigValidation(t *testing.T) {
 // TestDemotionAndPromotion pushes entries out of DRAM and reads them
 // back: the values must come from flash and promote into DRAM.
 func TestDemotionAndPromotion(t *testing.T) {
-	c, err := New(tieredConfig(t.TempDir(), "all"))
+	forEachEngine(t, testDemotionAndPromotion)
+}
+
+func testDemotionAndPromotion(t *testing.T, engine string) {
+	c, err := New(engineTieredConfig(t.TempDir(), "all", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,8 +125,12 @@ func TestDemotionAndPromotion(t *testing.T) {
 // TestTieredSurvivesRestart is the headline property: reopen the same
 // flash directory and the demoted working set is still servable.
 func TestTieredSurvivesRestart(t *testing.T) {
+	forEachEngine(t, testTieredSurvivesRestart)
+}
+
+func testTieredSurvivesRestart(t *testing.T, engine string) {
 	dir := t.TempDir()
-	c, err := New(tieredConfig(dir, "all"))
+	c, err := New(engineTieredConfig(dir, "all", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +146,7 @@ func TestTieredSurvivesRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c, err = New(tieredConfig(dir, "all"))
+	c, err = New(engineTieredConfig(dir, "all", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +179,11 @@ func TestTieredSurvivesRestart(t *testing.T) {
 // eviction, but re-Setting it while the ghost remembers proves reuse and
 // writes it through to flash.
 func TestGhostAdmissionWriteThrough(t *testing.T) {
-	c, err := New(tieredConfig(t.TempDir(), "ghost"))
+	forEachEngine(t, testGhostAdmissionWriteThrough)
+}
+
+func testGhostAdmissionWriteThrough(t *testing.T, engine string) {
+	c, err := New(engineTieredConfig(t.TempDir(), "ghost", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +212,11 @@ func TestGhostAdmissionWriteThrough(t *testing.T) {
 // TestFreqAdmission: entries hit while resident are admitted, one-hit
 // wonders are not.
 func TestFreqAdmission(t *testing.T) {
-	c, err := New(tieredConfig(t.TempDir(), "freq"))
+	forEachEngine(t, testFreqAdmission)
+}
+
+func testFreqAdmission(t *testing.T, engine string) {
+	c, err := New(engineTieredConfig(t.TempDir(), "freq", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,8 +297,12 @@ func TestGhostWritesLessThanAdmitAll(t *testing.T) {
 }
 
 func TestDeleteRemovesBothTiers(t *testing.T) {
+	forEachEngine(t, testDeleteRemovesBothTiers)
+}
+
+func testDeleteRemovesBothTiers(t *testing.T, engine string) {
 	dir := t.TempDir()
-	c, err := New(tieredConfig(dir, "all"))
+	c, err := New(engineTieredConfig(dir, "all", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +321,7 @@ func TestDeleteRemovesBothTiers(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The delete must survive restart (tombstoned on flash).
-	c, err = New(tieredConfig(dir, "all"))
+	c, err = New(engineTieredConfig(dir, "all", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +332,11 @@ func TestDeleteRemovesBothTiers(t *testing.T) {
 }
 
 func TestTTLNotServedFromFlash(t *testing.T) {
-	c, err := New(tieredConfig(t.TempDir(), "all"))
+	forEachEngine(t, testTTLNotServedFromFlash)
+}
+
+func testTTLNotServedFromFlash(t *testing.T, engine string) {
+	c, err := New(engineTieredConfig(t.TempDir(), "all", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +355,11 @@ func TestTTLNotServedFromFlash(t *testing.T) {
 }
 
 func TestSetSupersedesFlashCopy(t *testing.T) {
-	c, err := New(tieredConfig(t.TempDir(), "all"))
+	forEachEngine(t, testSetSupersedesFlashCopy)
+}
+
+func testSetSupersedesFlashCopy(t *testing.T, engine string) {
+	c, err := New(engineTieredConfig(t.TempDir(), "all", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,8 +387,12 @@ func TestSetSupersedesFlashCopy(t *testing.T) {
 // that copy on disk, so a restart (which loses the DRAM tier) can never
 // bring the old value back.
 func TestRestartDoesNotResurrectSupersededValue(t *testing.T) {
+	forEachEngine(t, testRestartDoesNotResurrectSupersededValue)
+}
+
+func testRestartDoesNotResurrectSupersededValue(t *testing.T, engine string) {
 	dir := t.TempDir()
-	c, err := New(tieredConfig(dir, "all"))
+	c, err := New(engineTieredConfig(dir, "all", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +408,7 @@ func TestRestartDoesNotResurrectSupersededValue(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c, err = New(tieredConfig(dir, "all"))
+	c, err = New(engineTieredConfig(dir, "all", engine))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,8 +423,13 @@ func TestRestartDoesNotResurrectSupersededValue(t *testing.T) {
 // TestTieredConcurrent hammers a tiered cache from several goroutines;
 // the Makefile test-flash target runs this under -race.
 func TestTieredConcurrent(t *testing.T) {
+	forEachEngine(t, testTieredConcurrent)
+}
+
+func testTieredConcurrent(t *testing.T, engine string) {
 	c, err := New(Config{
 		MaxBytes:          8 << 10,
+		Engine:            engine,
 		Shards:            4,
 		FlashDir:          t.TempDir(),
 		FlashBytes:        128 << 10,

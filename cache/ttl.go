@@ -2,7 +2,8 @@ package cache
 
 import "time"
 
-// now is indirected for tests.
+// now is indirected for tests. Both engines read TTLs through this clock
+// (the concurrent engine receives it as a closure at construction).
 var now = time.Now
 
 // SetWithTTL stores value under key with a time-to-live. After ttl
@@ -13,35 +14,9 @@ var now = time.Now
 // receiving hits and therefore age out of any of this repository's
 // policies). A non-positive ttl stores the entry without expiry.
 func (c *Cache) SetWithTTL(key string, value []byte, ttl time.Duration) bool {
-	ok := c.Set(key, value)
-	if !ok || ttl <= 0 {
-		return ok
+	if ttl <= 0 {
+		return c.Set(key, value)
 	}
-	s := c.shardFor(key)
-	s.mu.Lock()
-	if e, present := s.entries[key]; present {
-		e.expiresAt = now().Add(ttl)
-	}
-	if c.flash != nil {
-		// Set may have written the value through to flash without the
-		// TTL; tombstone that copy so flash never serves past the expiry,
-		// not even after a restart. A later demotion carries the TTL into
-		// the flash record.
-		c.flash.store.Delete(key)
-	}
-	s.mu.Unlock()
-	return true
-}
-
-// expired reports whether e has a TTL that has passed.
-func (e *entry) expired() bool {
-	return !e.expiresAt.IsZero() && now().After(e.expiresAt)
-}
-
-// expireLocked removes an expired entry; the caller holds the shard lock.
-func (s *shard) expireLocked(key string, e *entry) {
-	s.engine.Delete(e.id)
-	delete(s.ids, e.id)
-	delete(s.entries, key)
-	s.stats.Expired++
+	c.sets.Add(1)
+	return c.set(key, value, now().Add(ttl).UnixNano())
 }

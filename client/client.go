@@ -176,6 +176,7 @@ func (c *Client) Delete(key string) (bool, error) {
 // ServerStats is the typed view of the server's counters. Flash fields
 // are zero when the server runs without a flash tier.
 type ServerStats struct {
+	Engine            string // serving engine ("policy" or "concurrent")
 	Hits              uint64 // DRAMHits + FlashHits
 	Misses            uint64
 	Sets              uint64
@@ -198,11 +199,18 @@ type ServerStats struct {
 // names the client does not know are ignored, so old clients keep
 // working against newer servers and vice versa.
 func (c *Client) ServerStats() (ServerStats, error) {
-	m, err := c.Stats()
+	raw, err := c.StatsRaw()
 	if err != nil {
 		return ServerStats{}, err
 	}
+	m := map[string]uint64{}
+	for name, v := range raw {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			m[name] = n
+		}
+	}
 	return ServerStats{
+		Engine:            raw["engine"],
 		Hits:              m["hits"],
 		Misses:            m["misses"],
 		Sets:              m["sets"],
@@ -222,15 +230,33 @@ func (c *Client) ServerStats() (ServerStats, error) {
 	}, nil
 }
 
-// Stats fetches the server's counters as a name -> value map.
+// Stats fetches the server's numeric counters as a name -> value map.
+// Stats whose values are not unsigned integers (e.g. "engine") are
+// skipped, so old clients keep working as servers grow new stat lines;
+// use StatsRaw or ServerStats for those.
 func (c *Client) Stats() (map[string]uint64, error) {
+	raw, err := c.StatsRaw()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]uint64{}
+	for name, v := range raw {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			out[name] = n
+		}
+	}
+	return out, nil
+}
+
+// StatsRaw fetches every STAT line verbatim as a name -> value map.
+func (c *Client) StatsRaw() (map[string]string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fmt.Fprintf(c.w, "stats\r\n")
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
-	out := map[string]uint64{}
+	out := map[string]string{}
 	for {
 		line, err := c.readLine()
 		if err != nil {
@@ -246,10 +272,6 @@ func (c *Client) Stats() (map[string]uint64, error) {
 		if len(fields) != 3 || fields[0] != "STAT" {
 			return nil, fmt.Errorf("client: malformed stat line %q", line)
 		}
-		v, err := strconv.ParseUint(fields[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("client: bad stat value in %q", line)
-		}
-		out[fields[1]] = v
+		out[fields[1]] = fields[2]
 	}
 }

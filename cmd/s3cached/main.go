@@ -2,6 +2,7 @@
 // S3-FIFO cache library.
 //
 //	s3cached -addr :11299 -max-bytes 268435456 -policy s3fifo
+//	s3cached -engine concurrent          # serve on the lock-free S3-FIFO
 //
 // With -http <addr> the server also exposes GET /stats as JSON for
 // monitoring. The wire protocol is documented in internal/server; the Go
@@ -35,6 +36,8 @@ func main() {
 	addr := flag.String("addr", ":11299", "listen address")
 	httpAddr := flag.String("http", "", "optional HTTP address serving /stats as JSON")
 	maxBytes := flag.Uint64("max-bytes", 256<<20, "cache capacity in bytes")
+	engine := flag.String("engine", "policy",
+		"serving engine: "+strings.Join(cache.Engines(), ", "))
 	policy := flag.String("policy", "s3fifo", "eviction policy (see cache.Policies)")
 	shards := flag.Int("shards", 16, "cache shards")
 	flashDir := flag.String("flash-dir", "", "directory for the flash tier's segment files (enables the tier)")
@@ -45,6 +48,7 @@ func main() {
 
 	c, err := cache.New(cache.Config{
 		MaxBytes:   *maxBytes,
+		Engine:     *engine,
 		Policy:     *policy,
 		Shards:     *shards,
 		FlashDir:   *flashDir,
@@ -61,7 +65,8 @@ func main() {
 			st := c.Stats()
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(map[string]any{
-				"hits": st.Hits, "misses": st.Misses, "sets": st.Sets,
+				"engine": c.Engine(),
+				"hits":   st.Hits, "misses": st.Misses, "sets": st.Sets,
 				"evictions": st.Evictions, "expired": st.Expired,
 				"hit_ratio": st.HitRatio(), "entries": c.Len(),
 				"bytes": c.Used(), "capacity": c.Capacity(),
@@ -90,11 +95,11 @@ func main() {
 		os.Exit(0)
 	}()
 	if *flashDir != "" {
-		fmt.Printf("s3cached listening on %s (%s, %d MiB DRAM + %d MiB flash at %s, %d shards)\n",
-			*addr, *policy, *maxBytes>>20, *flashBytes>>20, *flashDir, *shards)
+		fmt.Printf("s3cached listening on %s (engine %s, %s, %d MiB DRAM + %d MiB flash at %s, %d shards)\n",
+			*addr, c.Engine(), *policy, *maxBytes>>20, *flashBytes>>20, *flashDir, *shards)
 	} else {
-		fmt.Printf("s3cached listening on %s (%s, %d MiB, %d shards)\n",
-			*addr, *policy, *maxBytes>>20, *shards)
+		fmt.Printf("s3cached listening on %s (engine %s, %s, %d MiB, %d shards)\n",
+			*addr, c.Engine(), *policy, *maxBytes>>20, *shards)
 	}
 	log.Fatal(srv.ListenAndServe(*addr))
 }

@@ -6,8 +6,13 @@
 // writes the full result matrix as JSON so successive revisions have a
 // perf trajectory to regress against.
 //
+// It also compares the serving engines (policy vs concurrent) end-to-end
+// through the TCP server on loopback — the bare-structure numbers above
+// bound what the engine can do; the server sweep shows what survives the
+// protocol and the syscalls.
+//
 //	throughput -objects 200000 -ops 2000000 -threads 1,2,4,8,16 \
-//	    -shards 1,2,4,8 -json BENCH_concurrent.json
+//	    -shards 1,2,4,8 -server-conns 1,2,4 -json BENCH_concurrent.json
 //
 // Thread counts above GOMAXPROCS measure oversubscription, not scaling;
 // the default sweep stops at the machine's core count.
@@ -21,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"s3fifo/cache"
 	"s3fifo/internal/concurrent"
 	"s3fifo/internal/harness"
 )
@@ -39,12 +45,34 @@ type benchRow struct {
 	P999Ns    int64   `json:"p999_ns"`
 }
 
+// engineRow is one (engine, connections) end-to-end measurement through
+// the TCP server.
+type engineRow struct {
+	Engine   string  `json:"engine"`
+	Conns    int     `json:"conns"`
+	Kops     float64 `json:"kops"`
+	HitRatio float64 `json:"hit_ratio"`
+	P50Ns    int64   `json:"p50_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+	P999Ns   int64   `json:"p999_ns"`
+}
+
+// engineSweep is the "engines" section of BENCH_concurrent.json: the
+// serving-stack comparison (policy vs concurrent engine over TCP).
+type engineSweep struct {
+	Objects int         `json:"objects"`
+	Ops     int         `json:"ops"`
+	Note    string      `json:"note"`
+	Rows    []engineRow `json:"rows"`
+}
+
 // benchFile is the BENCH_concurrent.json layout.
 type benchFile struct {
-	Objects      int        `json:"objects"`
-	OpsPerThread int        `json:"ops_per_thread"`
-	Note         string     `json:"note"`
-	Rows         []benchRow `json:"rows"`
+	Objects      int          `json:"objects"`
+	OpsPerThread int          `json:"ops_per_thread"`
+	Note         string       `json:"note"`
+	Rows         []benchRow   `json:"rows"`
+	Engines      *engineSweep `json:"engines,omitempty"`
 }
 
 func parseInts(flagName, s string) []int {
@@ -69,6 +97,11 @@ func main() {
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default 1,2,4,8,16 capped at NumCPU)")
 	shardsFlag := flag.String("shards", "1,2,4,8", "comma-separated S3-FIFO queue-shard counts to sweep (empty disables)")
 	jsonPath := flag.String("json", "BENCH_concurrent.json", "write the result matrix as JSON to this path (empty disables)")
+	serverEngines := flag.String("server-engines", strings.Join(cache.Engines(), ","),
+		"engines to compare end-to-end through the TCP server (empty disables)")
+	serverConns := flag.String("server-conns", "1,2,4", "client-connection counts for the server sweep")
+	serverObjects := flag.Int("server-objects", 20_000, "distinct objects in the server-sweep workload")
+	serverOps := flag.Int("server-ops", 200_000, "total operations per server-sweep measurement")
 	flag.Parse()
 
 	threads := parseInts("threads", *threadsFlag)
@@ -106,6 +139,38 @@ func main() {
 				P999Ns: r.P999().Nanoseconds(),
 			})
 		}
+		fmt.Println()
+	}
+	if *serverEngines != "" {
+		engines := strings.Split(*serverEngines, ",")
+		for i := range engines {
+			engines[i] = strings.TrimSpace(engines[i])
+		}
+		fmt.Println("==== engines end-to-end (TCP server, closed loop) ====")
+		rows, err := harness.ServerSweep(harness.ServerSweepConfig{
+			Objects: *serverObjects, Ops: *serverOps,
+			Conns: parseInts("server-conns", *serverConns), Engines: engines,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		sweep := &engineSweep{
+			Objects: *serverObjects, Ops: *serverOps,
+			Note: "get-or-set Zipf α=1.0 through the text protocol on loopback; " +
+				"capacity objects/10; round-trip latency sampled 1-in-16",
+		}
+		fmt.Println("engine       conns   Kops/s   hit-ratio      p50      p99     p999")
+		for _, r := range rows {
+			fmt.Printf("%-12s %5d  %7.1f  %.4f  %9v %8v %8v\n",
+				r.Engine, r.Conns, r.Kops(), r.HitRatio(), r.P50(), r.P99(), r.P999())
+			sweep.Rows = append(sweep.Rows, engineRow{
+				Engine: r.Engine, Conns: r.Conns, Kops: r.Kops(), HitRatio: r.HitRatio(),
+				P50Ns: r.P50().Nanoseconds(), P99Ns: r.P99().Nanoseconds(),
+				P999Ns: r.P999().Nanoseconds(),
+			})
+		}
+		out.Engines = sweep
 		fmt.Println()
 	}
 	if *jsonPath != "" {

@@ -118,6 +118,22 @@ func (idx *shardedIndex[V]) deleteIf(key uint64, v V) {
 	s.Unlock()
 }
 
+// forEach visits every value under the per-shard read locks; fn
+// returning false stops the walk.
+func (idx *shardedIndex[V]) forEach(fn func(V) bool) {
+	for i := range idx.shards {
+		s := &idx.shards[i]
+		s.RLock()
+		for _, v := range s.m {
+			if !fn(v) {
+				s.RUnlock()
+				return
+			}
+		}
+		s.RUnlock()
+	}
+}
+
 func (idx *shardedIndex[V]) len() int {
 	n := 0
 	for i := range idx.shards {

@@ -1,0 +1,273 @@
+package concurrent
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestKVGetSetDelete(t *testing.T) {
+	kv := NewKV(KVConfig{MaxBytes: 1 << 20, Shards: 4})
+	if kv.Name() != "concurrent" {
+		t.Fatalf("Name() = %q", kv.Name())
+	}
+	if _, ok := kv.Get("missing"); ok {
+		t.Fatal("Get on empty KV reported a hit")
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		if !kv.Set(k, []byte(k+"-value"), 0) {
+			t.Fatalf("Set(%q) rejected", k)
+		}
+	}
+	if kv.Len() != 100 {
+		t.Fatalf("Len() = %d, want 100", kv.Len())
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		v, ok := kv.Get(k)
+		if !ok || string(v) != k+"-value" {
+			t.Fatalf("Get(%q) = %q, %v", k, v, ok)
+		}
+		if !kv.Contains(k) {
+			t.Fatalf("Contains(%q) = false", k)
+		}
+	}
+
+	// Overwrite replaces the value (same size and changed size).
+	if !kv.Set("k000", []byte("k000-VALUE"), 0) {
+		t.Fatal("same-size overwrite rejected")
+	}
+	if v, _ := kv.Get("k000"); string(v) != "k000-VALUE" {
+		t.Fatalf("after overwrite Get = %q", v)
+	}
+	if !kv.Set("k000", []byte("tiny"), 0) {
+		t.Fatal("resize overwrite rejected")
+	}
+	if v, _ := kv.Get("k000"); string(v) != "tiny" {
+		t.Fatalf("after resize Get = %q", v)
+	}
+	if kv.Len() != 100 {
+		t.Fatalf("Len() after overwrites = %d, want 100", kv.Len())
+	}
+
+	if !kv.Delete("k001") {
+		t.Fatal("Delete of resident key reported false")
+	}
+	if kv.Delete("k001") {
+		t.Fatal("second Delete reported true")
+	}
+	if _, ok := kv.Get("k001"); ok {
+		t.Fatal("Get after Delete reported a hit")
+	}
+	if kv.Len() != 99 {
+		t.Fatalf("Len() after Delete = %d, want 99", kv.Len())
+	}
+}
+
+func TestKVByteAccounting(t *testing.T) {
+	const capacity = 10_000
+	kv := NewKV(KVConfig{MaxBytes: capacity, Shards: 1})
+	val := make([]byte, 96)
+	for i := 0; i < 500; i++ {
+		kv.Set(fmt.Sprintf("k%03d", i), val, 0) // 100 bytes charged
+	}
+	if used := kv.Used(); used > capacity {
+		t.Fatalf("Used() = %d exceeds capacity %d", used, capacity)
+	}
+	if kv.Len() > capacity/100 {
+		t.Fatalf("Len() = %d, want <= %d", kv.Len(), capacity/100)
+	}
+	if kv.Evictions() == 0 {
+		t.Fatal("flood beyond capacity recorded no evictions")
+	}
+	if kv.Capacity() != capacity {
+		t.Fatalf("Capacity() = %d, want %d", kv.Capacity(), capacity)
+	}
+}
+
+func TestKVOversizedRejected(t *testing.T) {
+	kv := NewKV(KVConfig{MaxBytes: 1024, Shards: 1})
+	if !kv.Set("key", []byte("small"), 0) {
+		t.Fatal("small Set rejected")
+	}
+	if kv.Set("key", make([]byte, 10_000), 0) {
+		t.Fatal("oversized Set accepted")
+	}
+	// The stale small copy must not survive a rejected overwrite.
+	if _, ok := kv.Get("key"); ok {
+		t.Fatal("rejected overwrite left the old value readable")
+	}
+	if kv.Add("big", make([]byte, 10_000), 0) {
+		t.Fatal("oversized Add accepted")
+	}
+}
+
+func TestKVTTL(t *testing.T) {
+	var clock atomic.Int64
+	clock.Store(1)
+	kv := NewKV(KVConfig{MaxBytes: 1 << 20, Shards: 1, Now: func() int64 { return clock.Load() }})
+	kv.Set("k", []byte("v"), 100)
+	if _, ok := kv.Get("k"); !ok {
+		t.Fatal("unexpired entry missing")
+	}
+	clock.Store(100)
+	if _, ok := kv.Get("k"); !ok {
+		t.Fatal("entry at exact expiry instant must still serve")
+	}
+	clock.Store(101)
+	if _, ok := kv.Get("k"); ok {
+		t.Fatal("expired entry served")
+	}
+	if kv.Expired() != 1 {
+		t.Fatalf("Expired() = %d, want 1", kv.Expired())
+	}
+	if kv.Len() != 0 {
+		t.Fatalf("Len() after expiry = %d, want 0", kv.Len())
+	}
+
+	// A plain Set (expiresAt 0) clears the TTL of a live entry.
+	kv.Set("k2", []byte("v2"), 200)
+	kv.Set("k2", []byte("v2"), 0)
+	clock.Store(10_000)
+	if _, ok := kv.Get("k2"); !ok {
+		t.Fatal("plain re-Set did not clear TTL")
+	}
+}
+
+func TestKVAdd(t *testing.T) {
+	kv := NewKV(KVConfig{MaxBytes: 1 << 20, Shards: 1})
+	if !kv.Add("k", []byte("first"), 0) {
+		t.Fatal("Add to empty KV rejected")
+	}
+	if kv.Add("k", []byte("second"), 0) {
+		t.Fatal("Add over a resident key accepted")
+	}
+	if v, _ := kv.Get("k"); string(v) != "first" {
+		t.Fatalf("Add clobbered resident value: %q", v)
+	}
+	kv.Delete("k")
+	if !kv.Add("k", []byte("third"), 0) {
+		t.Fatal("Add after Delete rejected")
+	}
+}
+
+func TestKVEvictionHook(t *testing.T) {
+	var mu sync.Mutex
+	evicted := map[string]string{}
+	kv := NewKV(KVConfig{
+		MaxBytes: 1000,
+		Shards:   1,
+		OnEvict: func(key string, value []byte, size uint32, freq int, expiresAt int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			if size != uint32(len(key)+len(value)) {
+				t.Errorf("hook size %d != %d", size, len(key)+len(value))
+			}
+			evicted[key] = string(value)
+		},
+	})
+	val := make([]byte, 96)
+	kv.Set("keep", val, 0)
+	kv.Get("keep") // freq>0: survives small-queue eviction longer
+	kv.Delete("keep")
+	mu.Lock()
+	if len(evicted) != 0 {
+		t.Fatalf("Delete fired the eviction hook: %v", evicted)
+	}
+	mu.Unlock()
+	for i := 0; i < 50; i++ {
+		kv.Set(fmt.Sprintf("k%03d", i), val, 0)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) == 0 {
+		t.Fatal("flood beyond capacity fired no eviction hooks")
+	}
+	if _, ok := evicted["keep"]; ok {
+		t.Fatal("deleted key was reported as evicted")
+	}
+	for k, v := range evicted {
+		if k == "" || len(v) != len(val) {
+			t.Fatalf("hook saw inconsistent pair %q -> %d bytes", k, len(v))
+		}
+	}
+}
+
+func TestKVRange(t *testing.T) {
+	kv := NewKV(KVConfig{MaxBytes: 1 << 20, Shards: 2})
+	want := map[string]string{}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		want[k] = k + "-v"
+		kv.Set(k, []byte(k+"-v"), 0)
+	}
+	got := map[string]string{}
+	kv.Range(func(key string, value []byte, expiresAt int64) bool {
+		got[key] = string(value)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	kv.Range(func(string, []byte, int64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range ignored early stop: visited %d", n)
+	}
+}
+
+// TestKVConcurrent hammers the KV from 8 goroutines, with and without an
+// eviction hook (the hook toggles the locked overwrite/delete paths).
+// Run with -race.
+func TestKVConcurrent(t *testing.T) {
+	for _, hooked := range []bool{false, true} {
+		name := "lockfree-overwrites"
+		var hook func(string, []byte, uint32, int, int64)
+		var hookCalls atomic.Uint64
+		if hooked {
+			name = "locked-overwrites"
+			hook = func(key string, value []byte, size uint32, freq int, expiresAt int64) {
+				if key == "" {
+					t.Error("hook saw empty key")
+				}
+				hookCalls.Add(1)
+			}
+		}
+		t.Run(name, func(t *testing.T) {
+			kv := NewKV(KVConfig{MaxBytes: 64 << 10, Shards: 4, OnEvict: hook})
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					val := make([]byte, 120)
+					for i := 0; i < 5000; i++ {
+						k := fmt.Sprintf("key-%d", (seed*31+i*7)%800)
+						switch i % 5 {
+						case 0, 1, 2:
+							if v, ok := kv.Get(k); ok && len(v) != 120 {
+								t.Errorf("Get(%q) returned %d bytes", k, len(v))
+							}
+						case 3:
+							kv.Set(k, val, 0)
+						case 4:
+							kv.Delete(k)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if used, c := kv.Used(), kv.Capacity(); used > c {
+				t.Fatalf("Used() = %d exceeds Capacity() = %d", used, c)
+			}
+		})
+	}
+}

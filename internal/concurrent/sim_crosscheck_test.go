@@ -1,6 +1,7 @@
 package concurrent
 
 import (
+	"fmt"
 	"testing"
 
 	"s3fifo/internal/core"
@@ -52,6 +53,37 @@ func TestShardedS3FIFOHitRatioMatchesCore(t *testing.T) {
 		hitRatio := 1 - float64(misses)/float64(len(w.Keys))
 		if diff := hitRatio - simHitRatio; diff < -0.005 || diff > 0.005 {
 			t.Errorf("%d shards: hit ratio %.4f vs core %.4f (diff %+.4f, tolerance ±0.005)",
+				shards, hitRatio, simHitRatio, diff)
+		}
+	}
+}
+
+// TestKVHitRatioMatchesCore replays the same Zipf trace through the
+// string-keyed KV and the single-threaded reference simulator. The KV
+// adds byte accounting (every entry here charges 24 bytes: 16-byte key +
+// 8-byte value), real keys, and tombstone sweeping, none of which may
+// change eviction quality: hit ratios must agree within one percentage
+// point at every shard count.
+func TestKVHitRatioMatchesCore(t *testing.T) {
+	w := NewZipfWorkload(50000, 500000, 1.0, 8, 7)
+	const objects = 5000
+	simMisses := simulatorMisses(t, w.Keys, objects)
+	simHitRatio := 1 - float64(simMisses)/float64(len(w.Keys))
+	value := make([]byte, 8)
+	const entryBytes = 16 + 8 // "%016x" key + value
+	for _, shards := range []int{1, 4, 8, 16} {
+		kv := NewKV(KVConfig{MaxBytes: objects * entryBytes, Shards: shards})
+		misses := 0
+		for _, k := range w.Keys {
+			key := fmt.Sprintf("%016x", k)
+			if _, ok := kv.Get(key); !ok {
+				misses++
+				kv.Set(key, value, 0)
+			}
+		}
+		hitRatio := 1 - float64(misses)/float64(len(w.Keys))
+		if diff := hitRatio - simHitRatio; diff < -0.01 || diff > 0.01 {
+			t.Errorf("%d shards: KV hit ratio %.4f vs core %.4f (diff %+.4f, tolerance ±0.01)",
 				shards, hitRatio, simHitRatio, diff)
 		}
 	}

@@ -215,6 +215,7 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 
 	case "stats":
 		st := s.cache.Stats()
+		fmt.Fprintf(w, "STAT engine %s\r\n", s.cache.Engine())
 		fmt.Fprintf(w, "STAT hits %d\r\n", st.Hits)
 		fmt.Fprintf(w, "STAT misses %d\r\n", st.Misses)
 		fmt.Fprintf(w, "STAT sets %d\r\n", st.Sets)

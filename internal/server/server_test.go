@@ -43,8 +43,18 @@ func dial(t *testing.T, addr string) *client.Client {
 	return c
 }
 
+// TestGetSetDeleteOverTheWire runs the full serving session on both
+// engines: the wire protocol must be engine-agnostic.
 func TestGetSetDeleteOverTheWire(t *testing.T) {
-	addr, _ := startServer(t, cache.Config{})
+	for _, engine := range cache.Engines() {
+		t.Run("engine="+engine, func(t *testing.T) {
+			testGetSetDeleteOverTheWire(t, engine)
+		})
+	}
+}
+
+func testGetSetDeleteOverTheWire(t *testing.T, engine string) {
+	addr, _ := startServer(t, cache.Config{Engine: engine})
 	c := dial(t, addr)
 
 	if _, ok, err := c.Get("missing"); err != nil || ok {
@@ -92,20 +102,36 @@ func TestEmptyValue(t *testing.T) {
 }
 
 func TestStatsOverTheWire(t *testing.T) {
-	addr, _ := startServer(t, cache.Config{})
-	c := dial(t, addr)
-	c.Set("a", []byte("1"))
-	c.Get("a")
-	c.Get("b")
-	st, err := c.Stats()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if st["hits"] != 1 || st["misses"] != 1 || st["sets"] != 1 {
-		t.Errorf("stats = %v", st)
-	}
-	if st["capacity"] == 0 {
-		t.Error("capacity missing from stats")
+	for _, engine := range cache.Engines() {
+		t.Run("engine="+engine, func(t *testing.T) {
+			addr, _ := startServer(t, cache.Config{Engine: engine})
+			c := dial(t, addr)
+			c.Set("a", []byte("1"))
+			c.Get("a")
+			c.Get("b")
+			st, err := c.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st["hits"] != 1 || st["misses"] != 1 || st["sets"] != 1 {
+				t.Errorf("stats = %v", st)
+			}
+			if st["capacity"] == 0 {
+				t.Error("capacity missing from stats")
+			}
+			// The non-numeric engine stat is skipped by Stats() but visible
+			// through the typed and raw views.
+			ts, err := c.ServerStats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ts.Engine != engine {
+				t.Errorf("ServerStats.Engine = %q, want %q", ts.Engine, engine)
+			}
+			if ts.Hits != 1 || ts.Capacity == 0 {
+				t.Errorf("typed stats = %+v", ts)
+			}
+		})
 	}
 }
 
@@ -164,7 +190,15 @@ func TestProtocolErrorsKeepConnectionUsable(t *testing.T) {
 }
 
 func TestConcurrentClients(t *testing.T) {
-	addr, srv := startServer(t, cache.Config{MaxBytes: 1 << 20, Shards: 8})
+	for _, engine := range cache.Engines() {
+		t.Run("engine="+engine, func(t *testing.T) {
+			testConcurrentClients(t, engine)
+		})
+	}
+}
+
+func testConcurrentClients(t *testing.T, engine string) {
+	addr, srv := startServer(t, cache.Config{MaxBytes: 1 << 20, Engine: engine, Shards: 8})
 	var wg sync.WaitGroup
 	for g := 0; g < 6; g++ {
 		wg.Add(1)

@@ -13,10 +13,11 @@ import (
 
 // startTiered brings up a server over a tiered cache on a real TCP
 // listener and returns a connected client plus a shutdown func.
-func startTiered(t *testing.T, dir string) (*cache.Cache, *client.Client, func()) {
+func startTiered(t *testing.T, dir, engine string) (*cache.Cache, *client.Client, func()) {
 	t.Helper()
 	c, err := cache.New(cache.Config{
 		MaxBytes:          4 << 10,
+		Engine:            engine,
 		Shards:            2,
 		FlashDir:          dir,
 		FlashBytes:        512 << 10,
@@ -48,8 +49,16 @@ func startTiered(t *testing.T, dir string) (*cache.Cache, *client.Client, func()
 // come back correct from either tier, and the stats command reports the
 // per-tier counters consistently.
 func TestTieredEndToEnd(t *testing.T) {
+	for _, engine := range cache.Engines() {
+		t.Run("engine="+engine, func(t *testing.T) {
+			testTieredEndToEnd(t, engine)
+		})
+	}
+}
+
+func testTieredEndToEnd(t *testing.T, engine string) {
 	dir := t.TempDir()
-	_, cl, shutdown := startTiered(t, dir)
+	_, cl, shutdown := startTiered(t, dir, engine)
 
 	const n = 120
 	val := func(i int) []byte {
@@ -83,6 +92,9 @@ func TestTieredEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if st.Engine != engine {
+		t.Errorf("server reports engine %q, want %q", st.Engine, engine)
+	}
 	if st.FlashHits == 0 {
 		t.Error("no flash hits over TCP")
 	}
@@ -111,7 +123,7 @@ func TestTieredEndToEnd(t *testing.T) {
 
 	// Restart the whole stack on the same flash dir: the recovered index
 	// must keep serving values that only live on flash.
-	_, cl2, shutdown2 := startTiered(t, dir)
+	_, cl2, shutdown2 := startTiered(t, dir, engine)
 	defer shutdown2()
 	st2, err := cl2.ServerStats()
 	if err != nil {
