@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-flash tier1 bench throughput flashbench
+.PHONY: all build vet test test-race test-flash tier1 bench bench-overhead throughput flashbench
 
 all: tier1
 
@@ -14,11 +14,12 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-sensitive packages: the sharded
-# concurrent S3-FIFO (miss-path shards, tombstone ring, batched eviction)
-# and the lock-free primitives it builds on. Includes the Get/Set/Delete
-# stress test (TestStressInvariants).
+# concurrent S3-FIFO (miss-path shards, tombstone ring, batched eviction),
+# the lock-free primitives it builds on, the telemetry instruments
+# (hammered from many goroutines while scraping), and the TCP server.
+# Includes the Get/Set/Delete stress test (TestStressInvariants).
 test-race:
-	$(GO) test -race ./internal/concurrent/... ./internal/lockfree/...
+	$(GO) test -race ./internal/concurrent/... ./internal/lockfree/... ./internal/telemetry/... ./internal/server/...
 
 # Race-detector pass over the two-tier path: the log-structured flash
 # store and the cache facade that demotes into / promotes out of it.
@@ -31,6 +32,11 @@ tier1: build vet test test-race test-flash
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Telemetry-overhead gate: fails when a live metrics registry costs more
+# than 5% throughput vs the nil-registry fast path (DESIGN.md §9).
+bench-overhead:
+	$(GO) run ./cmd/throughput -overhead-only -overhead-max-pct 5 -json ""
 
 # Fig. 8 shard/thread sweep; writes BENCH_concurrent.json.
 throughput:

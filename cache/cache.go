@@ -32,10 +32,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"s3fifo/internal/core"
 	"s3fifo/internal/policy"
 	"s3fifo/internal/sketch"
+	"s3fifo/internal/telemetry"
 )
 
 // Config configures a Cache.
@@ -94,6 +96,24 @@ type Config struct {
 	// declined entries: a re-Set while remembered writes through, the
 	// paper's §5.4 filter against a real ghost queue). See Admissions.
 	Admission string
+
+	// Metrics, when non-nil, registers the cache's metric catalog with
+	// the registry: hit/miss/set counters, the eviction-flow taxonomy,
+	// queue occupancy gauges, flash-tier counters, and sampled per-op
+	// latency histograms (see DESIGN.md §9). Nearly everything is read at
+	// scrape time from counters the cache maintains anyway; when Metrics
+	// is nil (and no slow-op log is configured) the hot path pays one nil
+	// check per operation.
+	Metrics *telemetry.Registry
+	// SlowOpThreshold, when positive, times every operation (disabling
+	// 1-in-64 latency sampling) and reports those at or above the
+	// threshold through SlowOpLog and the cache_slow_ops_total counter.
+	SlowOpThreshold time.Duration
+	// SlowOpLog receives one structured line per slow operation:
+	// "slow-op op=get key=<hash> dur=1.2ms tier=flash". Keys are logged
+	// hashed, not verbatim. Ignored unless SlowOpThreshold is positive;
+	// must be safe for concurrent use.
+	SlowOpLog func(line string)
 }
 
 // Stats are cumulative counters since the cache was created.
@@ -112,6 +132,8 @@ type Stats struct {
 	// DemotionsDeclined those the admission policy rejected.
 	Demotions         uint64
 	DemotionsDeclined uint64
+	// Promotions counts flash hits copied back into DRAM.
+	Promotions uint64
 	// FlashBytesWritten is every byte appended to the flash log (the
 	// write-amplification numerator); FlashGCBytes is the subset
 	// rewritten by segment reclamation.
@@ -137,15 +159,17 @@ type Cache struct {
 	engine  Engine
 	flash   *flashTier // nil without a flash tier
 	onEvict func(key string, value []byte)
+	metrics *cacheMetrics // nil unless Config.Metrics or SlowOpThreshold
 
 	// Deferred OnEvict deliveries: engines report evictions under their
 	// internal locks, so callbacks queue here and drain lock-free.
 	evictMu sync.Mutex
 	evictQ  []evictedPair
 
-	dramHits atomic.Uint64
-	misses   atomic.Uint64
-	sets     atomic.Uint64
+	dramHits   atomic.Uint64
+	misses     atomic.Uint64
+	sets       atomic.Uint64
+	promotions atomic.Uint64
 }
 
 type evictedPair struct {
@@ -192,6 +216,9 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	c.engine = eng
+	if cfg.Metrics != nil || cfg.SlowOpThreshold > 0 {
+		c.metrics = newCacheMetrics(c, cfg)
+	}
 	return c, nil
 }
 
@@ -264,21 +291,44 @@ func hashString(key string) uint64 {
 // promotes the entry back into DRAM (lazy promotion — the flash copy
 // stays valid, so a later re-demotion costs no second write).
 func (c *Cache) Get(key string) ([]byte, bool) {
+	// Latency sampling rides the always-on hit/miss counters (plain
+	// loads) instead of a dedicated op counter or PRNG draw — at ~140ns
+	// per hit, either of those alone is a measurable tax. hits+misses
+	// advances once per Get, so this is an exact 1-in-64 for gets (flash
+	// hits don't advance it and sample at whatever phase the counter is
+	// stuck on; they're disk-bound, so the timing bias is noise).
+	m := c.metrics
+	var start time.Time
+	if m != nil && (m.everyOp || (c.dramHits.Load()+c.misses.Load())&opSampleMask == 0) {
+		start = time.Now()
+	}
 	if v, ok := c.engine.Get(key); ok {
 		c.dramHits.Add(1)
+		if !start.IsZero() {
+			c.metrics.end("get", key, start, "dram")
+		}
 		return v, true
 	}
 	if c.flash == nil {
 		c.misses.Add(1)
+		if !start.IsZero() {
+			c.metrics.end("get", key, start, "miss")
+		}
 		return nil, false
 	}
 	// Flash lookup runs outside any engine lock: it is disk I/O.
 	v, expires, ok := c.flash.store.Get(key)
 	if !ok {
 		c.misses.Add(1)
+		if !start.IsZero() {
+			c.metrics.end("get", key, start, "miss")
+		}
 		return nil, false
 	}
 	c.promote(key, v, expires)
+	if !start.IsZero() {
+		c.metrics.end("get", key, start, "flash")
+	}
 	return v, true
 }
 
@@ -288,6 +338,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 // until the key is Set again, the copies agree, and the next demotion is
 // free.
 func (c *Cache) promote(key string, value []byte, expires int64) {
+	c.promotions.Add(1)
 	c.engine.Add(key, value, expires)
 	c.drainEvictions()
 }
@@ -309,6 +360,12 @@ func (c *Cache) Set(key string, value []byte) bool {
 // of the old value can still be in flight, and the flash tombstone below
 // settles last.
 func (c *Cache) set(key string, value []byte, expiresAt int64) bool {
+	// Sampled against the set counter the callers just bumped; see Get.
+	m := c.metrics
+	var start time.Time
+	if m != nil && (m.everyOp || c.sets.Load()&opSampleMask == 0) {
+		start = time.Now()
+	}
 	ok := c.engine.Set(key, value, expiresAt)
 	if c.flash != nil {
 		if expiresAt == 0 {
@@ -322,15 +379,25 @@ func (c *Cache) set(key string, value []byte, expiresAt int64) bool {
 		}
 	}
 	c.drainEvictions()
+	if !start.IsZero() {
+		c.metrics.end("set", key, start, "dram")
+	}
 	return ok
 }
 
 // Delete removes key from every tier if present. It does not fire
 // OnEvict.
 func (c *Cache) Delete(key string) {
+	var start time.Time
+	if c.metrics.timed() {
+		start = time.Now()
+	}
 	c.engine.Delete(key)
 	if c.flash != nil {
 		c.flash.store.Delete(key)
+	}
+	if !start.IsZero() {
+		c.metrics.end("delete", key, start, "dram")
 	}
 }
 
@@ -372,6 +439,7 @@ func (c *Cache) Stats() Stats {
 		out.Hits += fst.Hits
 		out.Demotions = atomic.LoadUint64(&c.flash.demoted)
 		out.DemotionsDeclined = atomic.LoadUint64(&c.flash.declined)
+		out.Promotions = c.promotions.Load()
 		out.FlashBytesWritten = fst.BytesWritten
 		out.FlashGCBytes = fst.GCBytes
 		out.FlashSegments = uint64(c.flash.store.Segments())

@@ -50,6 +50,46 @@ type Engine interface {
 	Evictions() uint64
 	// Expired returns the cumulative count of lazily reaped TTL expiries.
 	Expired() uint64
+	// Counters returns the cumulative eviction-flow counters: every entry
+	// removal or queue transition, attributed to the Algorithm 1 branch
+	// (or API call) that caused it. Cheap — reads always-on atomics.
+	Counters() EngineCounters
+	// Occupancy samples the current S3-FIFO queue occupancy. It may take
+	// internal locks, so callers should treat it as a scrape-time
+	// operation. Engines running a non-S3-FIFO policy report their whole
+	// residency as the main queue and zero small/ghost occupancy.
+	Occupancy() QueueOccupancy
+}
+
+// EngineCounters are cumulative eviction-flow counts — the taxonomy
+// DESIGN.md §9 maps onto Algorithm 1's branches. SmallQueueEvict and
+// MainQueueEvict partition capacity evictions (Evictions()); the rest
+// account for removals and reinsertions outside the two eviction scans.
+type EngineCounters struct {
+	// SmallQueueEvict counts evictions from the small queue S — the quick
+	// demotions into the ghost queue (EVICTS).
+	SmallQueueEvict uint64
+	// MainQueueEvict counts evictions from the main queue M (EVICTM). For
+	// single-queue policies every capacity eviction lands here.
+	MainQueueEvict uint64
+	// GhostReinsert counts misses inserted directly into M because the
+	// ghost queue remembered the key (READ's ghost-hit branch).
+	GhostReinsert uint64
+	// TTLExpire counts lazily reaped TTL expiries.
+	TTLExpire uint64
+	// ExplicitDelete counts Delete calls that removed a resident entry.
+	ExplicitDelete uint64
+	// OversizedOverwrite counts resident entries dropped because an
+	// overwrite was too large to admit.
+	OversizedOverwrite uint64
+}
+
+// QueueOccupancy is a point-in-time sample of S3-FIFO queue occupancy
+// (S/M byte and entry counts, ghost entry count), summed over shards.
+type QueueOccupancy struct {
+	SmallBytes, MainBytes uint64
+	SmallLen, MainLen     int
+	GhostLen              int
 }
 
 // EngineEviction describes one capacity eviction as seen by the engine's

@@ -65,3 +65,25 @@ func (e *concurrentEngine) Range(fn func(key string, value []byte, expiresAt int
 func (e *concurrentEngine) Evictions() uint64 { return e.kv.Evictions() }
 
 func (e *concurrentEngine) Expired() uint64 { return e.kv.Expired() }
+
+func (e *concurrentEngine) Counters() EngineCounters {
+	return EngineCounters{
+		SmallQueueEvict:    e.kv.EvictionsSmall(),
+		MainQueueEvict:     e.kv.EvictionsMain(),
+		GhostReinsert:      e.kv.GhostReinserts(),
+		TTLExpire:          e.kv.Expired(),
+		ExplicitDelete:     e.kv.Deletes(),
+		OversizedOverwrite: e.kv.OversizedDrops(),
+	}
+}
+
+func (e *concurrentEngine) Occupancy() QueueOccupancy {
+	qs := e.kv.Queues()
+	return QueueOccupancy{
+		SmallBytes: qs.SmallBytes,
+		MainBytes:  qs.MainBytes,
+		SmallLen:   qs.SmallLen,
+		MainLen:    qs.MainLen,
+		GhostLen:   qs.GhostLen,
+	}
+}

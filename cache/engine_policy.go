@@ -21,6 +21,14 @@ type policyEngine struct {
 	onEvict   func(EngineEviction)
 	evictions atomic.Uint64
 	expired   atomic.Uint64
+
+	// Eviction-flow accounting (EngineCounters). Small/main attribution
+	// comes from policy.Eviction.Queue; policies that do not report a
+	// queue (every non-S3-FIFO baseline) count as main-queue evictions.
+	evictSmall atomic.Uint64
+	evictMain  atomic.Uint64
+	deletes    atomic.Uint64
+	oversized  atomic.Uint64
 }
 
 type policyShard struct {
@@ -110,6 +118,11 @@ func (s *policyShard) evicted(ev policy.Eviction) {
 	delete(s.ids, ev.Key)
 	delete(s.entries, key)
 	s.eng.evictions.Add(1)
+	if ev.Queue == policy.QueueSmall {
+		s.eng.evictSmall.Add(1)
+	} else {
+		s.eng.evictMain.Add(1)
+	}
 	if s.eng.onEvict != nil && e != nil {
 		s.eng.onEvict(EngineEviction{
 			Key:       key,
@@ -162,6 +175,7 @@ func (pe *policyEngine) Add(key string, value []byte, expiresAt int64) bool {
 func (s *policyShard) insertLocked(key string, value []byte, expiresAt int64) bool {
 	size := entrySize(key, value)
 
+	hadOld := false
 	if e, ok := s.entries[key]; ok {
 		if e.size == size {
 			e.value = value
@@ -171,6 +185,7 @@ func (s *policyShard) insertLocked(key string, value []byte, expiresAt int64) bo
 		s.pol.Delete(e.id)
 		delete(s.ids, e.id)
 		delete(s.entries, key)
+		hadOld = true
 	}
 
 	// IDs are derived from the key so a re-inserted key presents the same
@@ -187,9 +202,13 @@ func (s *policyShard) insertLocked(key string, value []byte, expiresAt int64) bo
 	s.ids[id] = key
 	s.pol.Request(id, size) // miss-insert; may evict others
 	if !s.pol.Contains(id) {
-		// Rejected (oversized for the shard): undo bookkeeping.
+		// Rejected (oversized for the shard): undo bookkeeping. Counted as
+		// an oversized overwrite only when a resident copy was dropped.
 		delete(s.ids, id)
 		delete(s.entries, key)
+		if hadOld {
+			s.eng.oversized.Add(1)
+		}
 		return false
 	}
 	return true
@@ -206,6 +225,7 @@ func (pe *policyEngine) Delete(key string) bool {
 	s.pol.Delete(e.id)
 	delete(s.ids, e.id)
 	delete(s.entries, key)
+	pe.deletes.Add(1)
 	return true
 }
 
@@ -278,3 +298,46 @@ func (pe *policyEngine) Range(fn func(key string, value []byte, expiresAt int64)
 
 func (pe *policyEngine) Evictions() uint64 { return pe.evictions.Load() }
 func (pe *policyEngine) Expired() uint64   { return pe.expired.Load() }
+
+// Counters implements Engine. Ghost reinserts are read from the S3-FIFO
+// core's movement counters under each shard lock (scrape-time only);
+// non-S3-FIFO policies have no ghost queue and report zero.
+func (pe *policyEngine) Counters() EngineCounters {
+	ec := EngineCounters{
+		SmallQueueEvict:    pe.evictSmall.Load(),
+		MainQueueEvict:     pe.evictMain.Load(),
+		TTLExpire:          pe.expired.Load(),
+		ExplicitDelete:     pe.deletes.Load(),
+		OversizedOverwrite: pe.oversized.Load(),
+	}
+	for _, s := range pe.shards {
+		s.mu.Lock()
+		if sf, ok := s.pol.(*core.S3FIFO); ok {
+			ec.GhostReinsert += sf.Stats().InsertedToMain
+		}
+		s.mu.Unlock()
+	}
+	return ec
+}
+
+// Occupancy implements Engine: per-queue byte and entry counts sampled
+// under each shard lock. Policies other than the S3-FIFO core expose no
+// queue structure, so their residency is reported wholesale as main.
+func (pe *policyEngine) Occupancy() QueueOccupancy {
+	var occ QueueOccupancy
+	for _, s := range pe.shards {
+		s.mu.Lock()
+		if sf, ok := s.pol.(*core.S3FIFO); ok {
+			occ.SmallBytes += sf.SmallBytes()
+			occ.MainBytes += sf.MainBytes()
+			occ.SmallLen += sf.SmallLen()
+			occ.MainLen += sf.MainLen()
+			occ.GhostLen += sf.GhostLen()
+		} else {
+			occ.MainBytes += s.pol.Used()
+			occ.MainLen += len(s.entries)
+		}
+		s.mu.Unlock()
+	}
+	return occ
+}

@@ -190,9 +190,18 @@ type ServerStats struct {
 	FlashEntries      uint64
 	Demotions         uint64
 	DemotionsDeclined uint64
+	Promotions        uint64
 	Entries           uint64
 	Bytes             uint64
 	Capacity          uint64
+
+	// Server process stats (uptime and connection/command counters).
+	UptimeSeconds    uint64
+	CurrConnections  uint64
+	TotalConnections uint64
+	CmdGet           uint64
+	CmdSet           uint64
+	CmdDelete        uint64
 }
 
 // ServerStats fetches the server's counters into a typed struct. Stat
@@ -224,9 +233,16 @@ func (c *Client) ServerStats() (ServerStats, error) {
 		FlashEntries:      m["flash_entries"],
 		Demotions:         m["demotions"],
 		DemotionsDeclined: m["demotions_declined"],
+		Promotions:        m["promotions"],
 		Entries:           m["entries"],
 		Bytes:             m["bytes"],
 		Capacity:          m["capacity"],
+		UptimeSeconds:     m["uptime_seconds"],
+		CurrConnections:   m["curr_connections"],
+		TotalConnections:  m["total_connections"],
+		CmdGet:            m["cmd_get"],
+		CmdSet:            m["cmd_set"],
+		CmdDelete:         m["cmd_delete"],
 	}, nil
 }
 

@@ -4,9 +4,21 @@
 //	s3cached -addr :11299 -max-bytes 268435456 -policy s3fifo
 //	s3cached -engine concurrent          # serve on the lock-free S3-FIFO
 //
-// With -http <addr> the server also exposes GET /stats as JSON for
-// monitoring. The wire protocol is documented in internal/server; the Go
-// client lives in s3fifo/client. Example session (via nc):
+// With -admin-addr <addr> the server also exposes an HTTP admin
+// listener:
+//
+//	/metrics       Prometheus text exposition (see DESIGN.md §9)
+//	/stats         the same counters as the stats command, as JSON
+//	/healthz       liveness probe
+//	/debug/pprof/  runtime profiles
+//
+// -slow-op <dur> logs every cache operation at or above the threshold
+// as a structured line (op, hashed key, duration, serving tier); it also
+// switches per-op latency from 1-in-64 sampling to timing every call.
+// The deprecated -http flag is an alias for -admin-addr.
+//
+// The wire protocol is documented in internal/server; the Go client
+// lives in s3fifo/client. Example session (via nc):
 //
 //	set greeting 5
 //	hello
@@ -18,10 +30,11 @@
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,11 +43,13 @@ import (
 
 	"s3fifo/cache"
 	"s3fifo/internal/server"
+	"s3fifo/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", ":11299", "listen address")
-	httpAddr := flag.String("http", "", "optional HTTP address serving /stats as JSON")
+	adminAddr := flag.String("admin-addr", "", "optional HTTP admin address serving /metrics, /stats, /healthz, /debug/pprof")
+	httpAddr := flag.String("http", "", "deprecated alias for -admin-addr")
 	maxBytes := flag.Uint64("max-bytes", 256<<20, "cache capacity in bytes")
 	engine := flag.String("engine", "policy",
 		"serving engine: "+strings.Join(cache.Engines(), ", "))
@@ -44,43 +59,45 @@ func main() {
 	flashBytes := flag.Uint64("flash-bytes", 0, "flash tier capacity in bytes (required with -flash-dir)")
 	admission := flag.String("admission", "",
 		"flash admission policy: "+strings.Join(cache.Admissions(), ", ")+" (default all)")
+	slowOp := flag.Duration("slow-op", 0, "log cache operations at or above this duration (0 disables; times every op)")
 	flag.Parse()
+	if *adminAddr == "" {
+		*adminAddr = *httpAddr
+	}
+
+	// The registry exists only when something will scrape it; with no
+	// admin listener the cache runs on its metrics-off fast path (a nil
+	// registry's instruments are no-ops).
+	var reg *telemetry.Registry
+	if *adminAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	var slowLog func(string)
+	if *slowOp > 0 {
+		slowLog = func(line string) { log.Print("s3cached: ", line) }
+	}
 
 	c, err := cache.New(cache.Config{
-		MaxBytes:   *maxBytes,
-		Engine:     *engine,
-		Policy:     *policy,
-		Shards:     *shards,
-		FlashDir:   *flashDir,
-		FlashBytes: *flashBytes,
-		Admission:  *admission,
+		MaxBytes:        *maxBytes,
+		Engine:          *engine,
+		Policy:          *policy,
+		Shards:          *shards,
+		FlashDir:        *flashDir,
+		FlashBytes:      *flashBytes,
+		Admission:       *admission,
+		Metrics:         reg,
+		SlowOpThreshold: *slowOp,
+		SlowOpLog:       slowLog,
 	})
 	if err != nil {
 		log.Fatal("s3cached: ", err)
 	}
 	srv := server.New(c)
-	if *httpAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-			st := c.Stats()
-			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(map[string]any{
-				"engine": c.Engine(),
-				"hits":   st.Hits, "misses": st.Misses, "sets": st.Sets,
-				"evictions": st.Evictions, "expired": st.Expired,
-				"hit_ratio": st.HitRatio(), "entries": c.Len(),
-				"bytes": c.Used(), "capacity": c.Capacity(),
-				"dram_hits": st.DRAMHits, "flash_hits": st.FlashHits,
-				"flash_bytes_written": st.FlashBytesWritten,
-				"flash_gc_bytes":      st.FlashGCBytes,
-				"flash_segments":      st.FlashSegments,
-				"flash_entries":       st.FlashEntries,
-				"demotions":           st.Demotions,
-				"demotions_declined":  st.DemotionsDeclined,
-			})
-		})
-		go func() { log.Fatal(http.ListenAndServe(*httpAddr, mux)) }()
-		fmt.Printf("stats on http://%s/stats\n", *httpAddr)
+	if *adminAddr != "" {
+		srv.RegisterMetrics(reg)
+		handler := server.AdminHandler(srv, reg)
+		go func() { log.Fatal(http.ListenAndServe(*adminAddr, handler)) }()
+		fmt.Printf("admin on http://%s (/metrics /stats /healthz /debug/pprof)\n", *adminAddr)
 	}
 	// Sync and close the flash tier on SIGINT/SIGTERM so a restart
 	// recovers the full index without replay losses.
@@ -101,5 +118,15 @@ func main() {
 		fmt.Printf("s3cached listening on %s (engine %s, %s, %d MiB, %d shards)\n",
 			*addr, c.Engine(), *policy, *maxBytes>>20, *shards)
 	}
-	log.Fatal(srv.ListenAndServe(*addr))
+	if *slowOp > 0 {
+		fmt.Printf("slow-op log at %v\n", *slowOp)
+	}
+	err = srv.ListenAndServe(*addr)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Fatal(err)
+	}
+	// Listener closed by the signal handler: block until it finishes
+	// syncing the flash tier and calls os.Exit(0). Exiting here instead
+	// would race the flash close and could lose index records.
+	select {}
 }

@@ -66,13 +66,27 @@ type engineSweep struct {
 	Rows    []engineRow `json:"rows"`
 }
 
+// telemetrySection is the "telemetry" section of BENCH_concurrent.json:
+// the facade-level cost of a live metrics registry vs the nil-registry
+// fast path.
+type telemetrySection struct {
+	Objects     int     `json:"objects"`
+	Ops         int     `json:"ops"`
+	Trials      int     `json:"trials"`
+	Note        string  `json:"note"`
+	BaseMops    float64 `json:"base_mops"`
+	MetricsMops float64 `json:"metrics_mops"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 // benchFile is the BENCH_concurrent.json layout.
 type benchFile struct {
-	Objects      int          `json:"objects"`
-	OpsPerThread int          `json:"ops_per_thread"`
-	Note         string       `json:"note"`
-	Rows         []benchRow   `json:"rows"`
-	Engines      *engineSweep `json:"engines,omitempty"`
+	Objects      int               `json:"objects"`
+	OpsPerThread int               `json:"ops_per_thread"`
+	Note         string            `json:"note"`
+	Rows         []benchRow        `json:"rows"`
+	Engines      *engineSweep      `json:"engines,omitempty"`
+	Telemetry    *telemetrySection `json:"telemetry,omitempty"`
 }
 
 func parseInts(flagName, s string) []int {
@@ -102,10 +116,18 @@ func main() {
 	serverConns := flag.String("server-conns", "1,2,4", "client-connection counts for the server sweep")
 	serverObjects := flag.Int("server-objects", 20_000, "distinct objects in the server-sweep workload")
 	serverOps := flag.Int("server-ops", 200_000, "total operations per server-sweep measurement")
+	overhead := flag.Bool("overhead", true, "measure telemetry overhead (live registry vs nil) through the cache facade")
+	overheadOnly := flag.Bool("overhead-only", false, "run only the telemetry-overhead measurement")
+	overheadOps := flag.Int("overhead-ops", 1_000_000, "operations per telemetry-overhead run")
+	overheadMaxPct := flag.Float64("overhead-max-pct", 0, "exit nonzero when telemetry overhead exceeds this percentage (0 disables the gate)")
 	flag.Parse()
 
 	threads := parseInts("threads", *threadsFlag)
 	shards := parseInts("shards", *shardsFlag)
+
+	if *overheadOnly {
+		*overhead = true
+	}
 
 	out := benchFile{
 		Objects:      *objects,
@@ -114,6 +136,9 @@ func main() {
 			"are sampled 1-in-16 ops and reported at log2-bucket resolution",
 	}
 	for _, large := range []bool{true, false} {
+		if *overheadOnly {
+			break
+		}
 		label, mode := "large cache (objects/10)", "large"
 		if !large {
 			label, mode = "small cache (objects/100)", "small"
@@ -141,7 +166,7 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if *serverEngines != "" {
+	if *serverEngines != "" && !*overheadOnly {
 		engines := strings.Split(*serverEngines, ",")
 		for i := range engines {
 			engines[i] = strings.TrimSpace(engines[i])
@@ -172,6 +197,29 @@ func main() {
 		}
 		out.Engines = sweep
 		fmt.Println()
+	}
+	if *overhead {
+		fmt.Println("==== telemetry overhead (facade, concurrent engine, 1 thread) ====")
+		res, err := harness.TelemetryOverhead(harness.OverheadConfig{Ops: *overheadOps})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics off: %.2f Mops/s   metrics on: %.2f Mops/s   overhead: %.2f%%\n\n",
+			res.BaseMops, res.MetricsMops, res.OverheadPct())
+		out.Telemetry = &telemetrySection{
+			Objects: res.Objects, Ops: res.Ops, Trials: res.Trials,
+			Note: "closed-loop get-or-set through cache.New (engine concurrent), " +
+				"best of interleaved trials; nil registry vs live registry with the full cache_* catalog",
+			BaseMops:    res.BaseMops,
+			MetricsMops: res.MetricsMops,
+			OverheadPct: res.OverheadPct(),
+		}
+		if *overheadMaxPct > 0 && res.OverheadPct() > *overheadMaxPct {
+			fmt.Fprintf(os.Stderr, "throughput: telemetry overhead %.2f%% exceeds the %.1f%% budget\n",
+				res.OverheadPct(), *overheadMaxPct)
+			os.Exit(1)
+		}
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(out, "", "  ")

@@ -43,6 +43,15 @@ type KV struct {
 
 	evictions atomic.Uint64
 	expired   atomic.Uint64
+
+	// Eviction-flow accounting (see cache.EngineCounters): which Algorithm 1
+	// branch each removal or reinsertion took. Bumped under the shard mutex
+	// (or on the uncontended Delete path), so plain atomic adds suffice.
+	evictSmall     atomic.Uint64
+	evictMain      atomic.Uint64
+	ghostReinserts atomic.Uint64
+	deletes        atomic.Uint64
+	oversized      atomic.Uint64
 }
 
 // KVConfig configures NewKV.
@@ -312,7 +321,9 @@ func (c *KV) Set(key string, value []byte, expiresAt int64) bool {
 	size := kvEntrySize(key, value)
 	if uint64(size) > s.capacity {
 		if e, ok := c.index.get(h); ok && e.key == key {
-			c.retire(e)
+			if c.retire(e) {
+				c.oversized.Add(1)
+			}
 		}
 		return false
 	}
@@ -391,12 +402,20 @@ func (c *KV) Delete(key string) bool {
 		return false
 	}
 	if c.onEvict == nil {
-		return c.retire(e)
+		if c.retire(e) {
+			c.deletes.Add(1)
+			return true
+		}
+		return false
 	}
 	s := c.shardOf(h)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return c.retire(e)
+	if c.retire(e) {
+		c.deletes.Add(1)
+		return true
+	}
+	return false
 }
 
 // retire kills e (delete or supersession): the index mapping is cleared
@@ -434,6 +453,7 @@ func (s *kvShard) insertLocked(c *KV, e *kentry) {
 	if s.ghost.Contains(e.hash) {
 		s.ghost.Remove(e.hash)
 		s.main.push(e)
+		c.ghostReinserts.Add(1)
 	} else {
 		s.small.push(e)
 	}
@@ -518,7 +538,7 @@ func (s *kvShard) evictFromSmallLocked(c *KV) bool {
 			continue // lost the race to a concurrent Delete
 		}
 		s.ghost.Insert(e.hash)
-		s.finishEvictLocked(c, e, freq)
+		s.finishEvictLocked(c, e, freq, false)
 		return true
 	}
 }
@@ -540,18 +560,24 @@ func (s *kvShard) evictFromMainLocked(c *KV) bool {
 		if e.dead.Swap(true) {
 			continue
 		}
-		s.finishEvictLocked(c, e, 0)
+		s.finishEvictLocked(c, e, 0, true)
 		return true
 	}
 }
 
-// finishEvictLocked settles one eviction: index removal, accounting, and
-// the hook. The caller holds the shard mutex and has won the dead swap.
-func (s *kvShard) finishEvictLocked(c *KV, e *kentry, freq int) {
+// finishEvictLocked settles one eviction: index removal, accounting (by
+// source queue), and the hook. The caller holds the shard mutex and has
+// won the dead swap.
+func (s *kvShard) finishEvictLocked(c *KV, e *kentry, freq int, fromMain bool) {
 	c.index.deleteIf(e.hash, e)
 	s.used.Add(-int64(e.size))
 	s.live.Add(-1)
 	c.evictions.Add(1)
+	if fromMain {
+		c.evictMain.Add(1)
+	} else {
+		c.evictSmall.Add(1)
+	}
 	if c.onEvict != nil {
 		c.onEvict(e.key, *e.value.Load(), e.size, freq, e.expires.Load())
 	}
@@ -589,6 +615,49 @@ func (c *KV) Evictions() uint64 { return c.evictions.Load() }
 
 // Expired returns the cumulative lazy-expiry count.
 func (c *KV) Expired() uint64 { return c.expired.Load() }
+
+// EvictionsSmall returns evictions taken from the small queue S (true
+// demotions into the ghost, Algorithm 1's EVICTS branch).
+func (c *KV) EvictionsSmall() uint64 { return c.evictSmall.Load() }
+
+// EvictionsMain returns evictions taken from the main queue M.
+func (c *KV) EvictionsMain() uint64 { return c.evictMain.Load() }
+
+// GhostReinserts returns inserts that went straight to M because the
+// ghost queue remembered the key (the paper's lazy promotion signal).
+func (c *KV) GhostReinserts() uint64 { return c.ghostReinserts.Load() }
+
+// Deletes returns explicit Delete calls that removed a resident entry.
+func (c *KV) Deletes() uint64 { return c.deletes.Load() }
+
+// OversizedDrops returns resident entries dropped because an overwrite
+// was too large for its shard.
+func (c *KV) OversizedDrops() uint64 { return c.oversized.Load() }
+
+// QueueStats is a point-in-time occupancy snapshot of the S3-FIFO queues,
+// aggregated over every shard.
+type QueueStats struct {
+	SmallBytes, MainBytes uint64
+	SmallLen, MainLen     int
+	GhostLen              int
+}
+
+// Queues samples queue occupancy under each shard's mutex in turn — a
+// scrape-time operation, not a hot-path one. Queue byte totals include
+// tombstoned entries not yet swept, so they can transiently exceed Used.
+func (c *KV) Queues() QueueStats {
+	var qs QueueStats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		qs.SmallBytes += s.small.bytes
+		qs.MainBytes += s.main.bytes
+		qs.SmallLen += s.small.len()
+		qs.MainLen += s.main.len()
+		qs.GhostLen += s.ghost.Len()
+		s.mu.Unlock()
+	}
+	return qs
+}
 
 // Range visits every resident, unexpired entry under the index's
 // per-shard read locks; fn returning false stops the walk. Entries

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"s3fifo/internal/telemetry"
 	"s3fifo/internal/workload"
 )
 
@@ -48,7 +49,7 @@ type ReplayResult struct {
 	Elapsed time.Duration
 	Hits    uint64
 	// Latency holds sampled per-op latencies (one op in latSamplePeriod).
-	Latency LatencyHist
+	Latency telemetry.Histogram
 }
 
 // P50 returns the sampled median per-op latency.
@@ -162,12 +163,12 @@ type sharded interface{ Shards() int }
 // sampled per-op latency histogram.
 func Replay(c Cache, w *Workload, threads, opsPerThread int) ReplayResult {
 	var hits atomic.Uint64
-	hists := make([]LatencyHist, threads)
+	hists := make([]telemetry.Histogram, threads)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
-		go func(offset int, h *LatencyHist) {
+		go func(offset int, h *telemetry.Histogram) {
 			defer wg.Done()
 			n := len(w.Keys)
 			localHits := uint64(0)

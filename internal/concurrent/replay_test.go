@@ -1,0 +1,23 @@
+package concurrent
+
+import "testing"
+
+func TestReplayReportsLatency(t *testing.T) {
+	w := NewZipfWorkload(1000, 10000, 1.0, 16, 3)
+	c := NewS3FIFO(100)
+	Warm(c, w)
+	r := Replay(c, w, 2, 4000)
+	if r.Latency.Total() == 0 {
+		t.Fatal("replay recorded no latency samples")
+	}
+	// 1-in-16 sampling of 8000 ops → ~500 samples.
+	if got := r.Latency.Total(); got < 400 || got > 1000 {
+		t.Errorf("sample count = %d, want ~500", got)
+	}
+	if r.P50() <= 0 || r.P99() < r.P50() || r.P999() < r.P99() {
+		t.Errorf("percentiles not sane: p50=%v p99=%v p999=%v", r.P50(), r.P99(), r.P999())
+	}
+	if r.Shards == 0 {
+		t.Error("s3fifo replay should report its shard count")
+	}
+}

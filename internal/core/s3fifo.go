@@ -297,7 +297,7 @@ func (c *S3FIFO) evictS() {
 		if c.onSEvict != nil {
 			c.onSEvict(t.Key)
 		}
-		c.notifyEvict(t)
+		c.notifyEvict(t, policy.QueueSmall)
 		return
 	}
 }
@@ -325,7 +325,7 @@ func (c *S3FIFO) evictM() {
 		if c.onMEvict != nil {
 			c.onMEvict(t.Key)
 		}
-		c.notifyEvict(t)
+		c.notifyEvict(t, policy.QueueMain)
 		return
 	}
 }
@@ -355,7 +355,7 @@ func (c *S3FIFO) evictMSieve() {
 	if c.onMEvict != nil {
 		c.onMEvict(n.Key)
 	}
-	c.notifyEvict(n)
+	c.notifyEvict(n, policy.QueueMain)
 }
 
 func (c *S3FIFO) emitDemotion(n *list.Node, toMain bool) {
@@ -364,11 +364,12 @@ func (c *S3FIFO) emitDemotion(n *list.Node, toMain bool) {
 	}
 }
 
-func (c *S3FIFO) notifyEvict(n *list.Node) {
+func (c *S3FIFO) notifyEvict(n *list.Node, queue string) {
 	if c.observer != nil {
 		c.observer(policy.Eviction{
 			Key: n.Key, Size: n.Size, Freq: int(n.Freq),
 			InsertedAt: uint64(n.Aux), EvictedAt: c.clock,
+			Queue: queue,
 		})
 	}
 }
@@ -408,6 +409,15 @@ func (c *S3FIFO) SmallLen() int { return c.small.Len() }
 
 // MainLen returns the number of objects in the main queue.
 func (c *S3FIFO) MainLen() int { return c.main.Len() }
+
+// SmallBytes returns the bytes resident in the small queue S.
+func (c *S3FIFO) SmallBytes() uint64 { return c.sUsed }
+
+// MainBytes returns the bytes resident in the main queue M.
+func (c *S3FIFO) MainBytes() uint64 { return c.used - c.sUsed }
+
+// GhostLen returns the number of IDs remembered by the ghost queue G.
+func (c *S3FIFO) GhostLen() int { return c.ghost.Len() }
 
 // Stats reports internal movement counters.
 type Stats struct {

@@ -9,6 +9,7 @@ import (
 	"s3fifo/client"
 	"s3fifo/internal/concurrent"
 	"s3fifo/internal/server"
+	"s3fifo/internal/telemetry"
 )
 
 // ServerSweepConfig parameterizes the end-to-end engine comparison: one
@@ -58,7 +59,7 @@ type ServerSweepRow struct {
 	Hits    uint64
 	Elapsed time.Duration
 	// Latency holds sampled per-request round-trip latencies (1 in 16).
-	Latency concurrent.LatencyHist
+	Latency telemetry.Histogram
 }
 
 // Kops returns thousand operations per second. TCP round trips are three
@@ -150,7 +151,7 @@ func serverSweepOne(engine string, conns int, capacity uint64, w *concurrent.Wor
 
 	type connResult struct {
 		hits uint64
-		lat  concurrent.LatencyHist
+		lat  telemetry.Histogram
 		err  error
 	}
 	results := make(chan connResult, conns)

@@ -27,7 +27,18 @@ type Eviction struct {
 	// InsertedAt and EvictedAt are logical times in requests processed by
 	// the policy.
 	InsertedAt, EvictedAt uint64
+	// Queue names the queue the object was evicted from, for policies with
+	// more than one (core.S3FIFO reports QueueSmall or QueueMain, mapping
+	// to Algorithm 1's EVICTS/EVICTM branches). Single-queue baselines
+	// leave it empty.
+	Queue string
 }
+
+// Queue values reported in Eviction.Queue by multi-queue policies.
+const (
+	QueueSmall = "small"
+	QueueMain  = "main"
+)
 
 // Observer receives eviction events.
 type Observer func(Eviction)

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"s3fifo/internal/telemetry"
+)
+
+// AdminHandler is the server's HTTP admin surface (s3cached -admin-addr):
+//
+//	/metrics       Prometheus text exposition from reg
+//	/stats         the cache and server counters as a JSON object
+//	/healthz       200 "ok" liveness probe
+//	/debug/pprof/  the standard runtime profiles
+//
+// reg may be nil, in which case /metrics serves an empty (but valid)
+// exposition. The handler is intended for a loopback or otherwise
+// trusted listener: pprof exposes heap contents.
+func AdminHandler(s *Server, reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.statsJSON())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statsJSON flattens the cache and server counters for /stats. The keys
+// match the wire protocol's stats command.
+func (s *Server) statsJSON() map[string]any {
+	c := s.cache
+	st := c.Stats()
+	return map[string]any{
+		"engine": c.Engine(),
+		"hits":   st.Hits, "misses": st.Misses, "sets": st.Sets,
+		"evictions": st.Evictions, "expired": st.Expired,
+		"hit_ratio": st.HitRatio(), "entries": c.Len(),
+		"bytes": c.Used(), "capacity": c.Capacity(),
+		"dram_hits": st.DRAMHits, "flash_hits": st.FlashHits,
+		"flash_bytes_written": st.FlashBytesWritten,
+		"flash_gc_bytes":      st.FlashGCBytes,
+		"flash_segments":      st.FlashSegments,
+		"flash_entries":       st.FlashEntries,
+		"demotions":           st.Demotions,
+		"demotions_declined":  st.DemotionsDeclined,
+		"promotions":          st.Promotions,
+		"uptime_seconds":      int64(s.uptime().Seconds()),
+		"curr_connections":    s.connsCurrent(),
+		"total_connections":   s.connsTotal.Load(),
+		"cmd_get":             s.cmdGet.Load(),
+		"cmd_set":             s.cmdSet.Load(),
+		"cmd_delete":          s.cmdDelete.Load(),
+	}
+}

@@ -23,9 +23,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s3fifo/cache"
+	"s3fifo/internal/telemetry"
 )
 
 // Limits of the wire protocol.
@@ -37,6 +39,14 @@ const (
 // Server serves the cache protocol over TCP.
 type Server struct {
 	cache *cache.Cache
+	start time.Time
+
+	// Protocol-level counters: total connections ever accepted and
+	// dispatched commands by verb (only well-formed commands count).
+	connsTotal atomic.Uint64
+	cmdGet     atomic.Uint64
+	cmdSet     atomic.Uint64
+	cmdDelete  atomic.Uint64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -46,7 +56,43 @@ type Server struct {
 
 // New returns a server around c.
 func New(c *cache.Cache) *Server {
-	return &Server{cache: c, conns: make(map[net.Conn]struct{})}
+	return &Server{cache: c, conns: make(map[net.Conn]struct{}), start: time.Now()}
+}
+
+// connsCurrent returns the number of live connections.
+func (s *Server) connsCurrent() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// uptime returns the time since the server was created, never negative.
+func (s *Server) uptime() time.Duration {
+	d := time.Since(s.start)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// RegisterMetrics registers the server's connection and command-mix
+// families with reg (nil-safe). The cache's own families come from
+// cache.Config.Metrics; give both the same registry and /metrics carries
+// the full stack.
+func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("server_uptime_seconds", "Seconds since the server was created.",
+		nil, func() float64 { return s.uptime().Seconds() })
+	reg.GaugeFunc("server_connections_current", "Live client connections.",
+		nil, func() float64 { return float64(s.connsCurrent()) })
+	reg.CounterFunc("server_connections_total", "Client connections ever accepted.",
+		nil, func() uint64 { return s.connsTotal.Load() })
+	cmdHelp := "Dispatched protocol commands by verb."
+	reg.CounterFunc("server_commands_total", cmdHelp,
+		telemetry.Labels{{Key: "cmd", Value: "get"}}, s.cmdGet.Load)
+	reg.CounterFunc("server_commands_total", cmdHelp,
+		telemetry.Labels{{Key: "cmd", Value: "set"}}, s.cmdSet.Load)
+	reg.CounterFunc("server_commands_total", cmdHelp,
+		telemetry.Labels{{Key: "cmd", Value: "delete"}}, s.cmdDelete.Load)
 }
 
 // Cache returns the underlying cache (for stats inspection).
@@ -75,6 +121,7 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.connsTotal.Add(1)
 		go s.handle(conn)
 	}
 }
@@ -153,6 +200,7 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 		if len(fields) != 2 {
 			return false, protoErr(w, "usage: get <key>")
 		}
+		s.cmdGet.Add(1)
 		if v, ok := s.cache.Get(fields[1]); ok {
 			fmt.Fprintf(w, "VALUE %s %d\r\n", fields[1], len(v))
 			w.Write(v)
@@ -188,6 +236,7 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 		if err := expectCRLF(r); err != nil {
 			return true, err
 		}
+		s.cmdSet.Add(1)
 		stored := false
 		if ttl > 0 {
 			stored = s.cache.SetWithTTL(key, value, ttl)
@@ -205,6 +254,7 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 		if len(fields) != 2 {
 			return false, protoErr(w, "usage: delete <key>")
 		}
+		s.cmdDelete.Add(1)
 		if s.cache.Contains(fields[1]) {
 			s.cache.Delete(fields[1])
 			w.WriteString("DELETED\r\n")
@@ -229,9 +279,16 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 		fmt.Fprintf(w, "STAT flash_entries %d\r\n", st.FlashEntries)
 		fmt.Fprintf(w, "STAT demotions %d\r\n", st.Demotions)
 		fmt.Fprintf(w, "STAT demotions_declined %d\r\n", st.DemotionsDeclined)
+		fmt.Fprintf(w, "STAT promotions %d\r\n", st.Promotions)
 		fmt.Fprintf(w, "STAT entries %d\r\n", s.cache.Len())
 		fmt.Fprintf(w, "STAT bytes %d\r\n", s.cache.Used())
 		fmt.Fprintf(w, "STAT capacity %d\r\n", s.cache.Capacity())
+		fmt.Fprintf(w, "STAT uptime_seconds %d\r\n", int64(s.uptime().Seconds()))
+		fmt.Fprintf(w, "STAT curr_connections %d\r\n", s.connsCurrent())
+		fmt.Fprintf(w, "STAT total_connections %d\r\n", s.connsTotal.Load())
+		fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.cmdGet.Load())
+		fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.cmdSet.Load())
+		fmt.Fprintf(w, "STAT cmd_delete %d\r\n", s.cmdDelete.Load())
 		w.WriteString("END\r\n")
 		return false, nil
 
