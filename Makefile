@@ -21,10 +21,13 @@ test:
 test-race:
 	$(GO) test -race ./internal/concurrent/... ./internal/lockfree/... ./internal/telemetry/... ./internal/server/...
 
-# Race-detector pass over the two-tier path: the log-structured flash
-# store and the cache facade that demotes into / promotes out of it.
+# Race-detector pass over the two-tier path: the fault-injecting
+# filesystem, the log-structured flash store on top of it, the cache
+# facade (including the flash breaker's background prober), the hardened
+# client, and the root end-to-end tests (the flash-outage degradation
+# story runs here under the race detector).
 test-flash:
-	$(GO) test -race ./internal/flash/... ./cache/...
+	$(GO) test -race ./internal/faultfs/... ./internal/flash/... ./cache/... ./client/... .
 
 # Tier-1 verification: everything must build and vet clean, the full
 # suite must pass, and the concurrent + tiered paths must be race-clean.

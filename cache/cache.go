@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"s3fifo/internal/core"
+	"s3fifo/internal/faultfs"
 	"s3fifo/internal/policy"
 	"s3fifo/internal/sketch"
 	"s3fifo/internal/telemetry"
@@ -96,6 +97,21 @@ type Config struct {
 	// declined entries: a re-Set while remembered writes through, the
 	// paper's §5.4 filter against a real ghost queue). See Admissions.
 	Admission string
+	// FlashFS overrides the filesystem under the flash tier. nil means
+	// the real OS filesystem; tests substitute a faultfs.Injector to
+	// drive the tier's failure paths deterministically.
+	FlashFS faultfs.FS
+	// FlashBreakerThreshold is the number of consecutive flash I/O
+	// errors that trip the tier into degraded DRAM-only mode (demotions
+	// dropped, flash reads bypassed, background retry with backoff; see
+	// DESIGN.md §10). 0 means the default of 3; negative disables the
+	// breaker (errors are still counted, the cache never degrades).
+	FlashBreakerThreshold int
+	// FlashRetryMin and FlashRetryMax bound the exponential backoff of
+	// the background probe that retries a degraded flash tier. Defaults
+	// 100ms and 30s.
+	FlashRetryMin time.Duration
+	FlashRetryMax time.Duration
 
 	// Metrics, when non-nil, registers the cache's metric catalog with
 	// the registry: hit/miss/set counters, the eviction-flow taxonomy,
@@ -141,6 +157,17 @@ type Stats struct {
 	FlashGCBytes      uint64
 	FlashSegments     uint64
 	FlashEntries      uint64
+
+	// Flash health (DESIGN.md §10). FlashErrors counts every flash I/O
+	// error observed, including background probes; FlashDegraded is true
+	// while the breaker is open and the cache is serving DRAM-only.
+	// DemotionsDegraded counts DRAM evictions dropped (not written to
+	// flash) because the tier was degraded.
+	FlashErrors          uint64
+	FlashDegraded        bool
+	FlashBreakerTrips    uint64
+	FlashBreakerRestores uint64
+	DemotionsDegraded    uint64
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any lookups.
@@ -222,13 +249,21 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
-// Close releases the flash tier (syncing its active segment). It is a
-// no-op for a DRAM-only cache, which needs no Close.
+// Close releases the flash tier (stopping the breaker's background
+// prober, then syncing the active segment). It is a no-op for a
+// DRAM-only cache, which needs no Close.
 func (c *Cache) Close() error {
 	if c.flash == nil {
 		return nil
 	}
+	c.flash.br.close()
 	return c.flash.store.Close()
+}
+
+// FlashDegraded reports whether the flash tier is currently degraded
+// (breaker open, serving DRAM-only). Always false without a flash tier.
+func (c *Cache) FlashDegraded() bool {
+	return c.flash != nil && !c.flash.available()
 }
 
 // Engine returns the name of the serving engine ("policy" or
@@ -309,7 +344,10 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		}
 		return v, true
 	}
-	if c.flash == nil {
+	if c.flash == nil || !c.flash.available() {
+		// No flash tier, or the tier is degraded: a degraded tier is
+		// bypassed entirely — its index may hold copies superseded during
+		// the outage, and the disk under it is presumed sick.
 		c.misses.Add(1)
 		if !start.IsZero() {
 			c.metrics.end("get", key, start, "miss")
@@ -375,7 +413,7 @@ func (c *Cache) set(key string, value []byte, expiresAt int64) bool {
 			// copy so flash cannot serve past the expiry, even after a
 			// restart. A later demotion carries the TTL into the flash
 			// record.
-			c.flash.store.Delete(key)
+			c.flash.invalidate(key)
 		}
 	}
 	c.drainEvictions()
@@ -394,7 +432,7 @@ func (c *Cache) Delete(key string) {
 	}
 	c.engine.Delete(key)
 	if c.flash != nil {
-		c.flash.store.Delete(key)
+		c.flash.invalidate(key)
 	}
 	if !start.IsZero() {
 		c.metrics.end("delete", key, start, "dram")
@@ -407,7 +445,7 @@ func (c *Cache) Contains(key string) bool {
 	if c.engine.Contains(key) {
 		return true
 	}
-	if c.flash != nil {
+	if c.flash != nil && c.flash.available() {
 		return c.flash.store.Contains(key)
 	}
 	return false
@@ -444,6 +482,11 @@ func (c *Cache) Stats() Stats {
 		out.FlashGCBytes = fst.GCBytes
 		out.FlashSegments = uint64(c.flash.store.Segments())
 		out.FlashEntries = uint64(c.flash.store.Len())
+		out.FlashErrors = c.flash.br.errors.Load()
+		out.FlashDegraded = !c.flash.available()
+		out.FlashBreakerTrips = c.flash.br.trips.Load()
+		out.FlashBreakerRestores = c.flash.br.restores.Load()
+		out.DemotionsDegraded = atomic.LoadUint64(&c.flash.dropped)
 	}
 	return out
 }

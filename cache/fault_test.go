@@ -1,0 +1,225 @@
+// Breaker tests: drive the flash tier over a faultfs.Injector and check
+// that the facade degrades to DRAM-only serving instead of surfacing
+// disk errors, then restores cleanly when the faults lift.
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"s3fifo/internal/faultfs"
+)
+
+// newFaultedCache builds a small single-shard cache over an injector:
+// 4 KiB of DRAM and 512-byte values, so a handful of Sets forces
+// demotions through the flash tier.
+func newFaultedCache(t *testing.T, cfg Config) (*Cache, *faultfs.Injector) {
+	t.Helper()
+	inj := faultfs.New(faultfs.OS(), 1)
+	cfg.MaxBytes = 4 << 10
+	cfg.Shards = 1
+	cfg.FlashDir = t.TempDir()
+	cfg.FlashBytes = 1 << 20
+	cfg.FlashSegmentBytes = 16 << 10
+	cfg.FlashFS = inj
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, inj
+}
+
+// fill drives n Sets of 512-byte values through the cache; with 4 KiB of
+// DRAM anything past the first few evicts and therefore demotes.
+func fill(t *testing.T, c *Cache, prefix string, n int) {
+	t.Helper()
+	val := make([]byte, 512)
+	for i := 0; i < n; i++ {
+		if !c.Set(fmt.Sprintf("%s-%d", prefix, i), val) {
+			t.Fatalf("Set(%s-%d) rejected", prefix, i)
+		}
+	}
+}
+
+// waitFor polls cond for up to 5s; the breaker's restore runs on a
+// background goroutine, so tests observe it asynchronously.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestBreakerTripsToDRAMOnly(t *testing.T) {
+	c, inj := newFaultedCache(t, Config{
+		FlashBreakerThreshold: 3,
+		FlashRetryMin:         time.Hour, // no restore during this test
+	})
+	fill(t, c, "warm", 32)
+	if st := c.Stats(); st.Demotions == 0 {
+		t.Fatalf("no demotions after warmup: %+v", st)
+	}
+
+	// Kill the disk: every write and sync fails from here on.
+	inj.FailAfter(faultfs.OpWrite, 0)
+	inj.FailAfter(faultfs.OpSync, 0)
+	fill(t, c, "sick", 32) // never surfaces an error to the caller
+	st := c.Stats()
+	if !st.FlashDegraded || st.FlashBreakerTrips != 1 {
+		t.Fatalf("breaker did not trip: %+v", st)
+	}
+	if st.FlashErrors < 3 {
+		t.Fatalf("FlashErrors = %d, want >= threshold", st.FlashErrors)
+	}
+
+	// Degraded serving: DRAM hits keep working, flash reads are bypassed,
+	// further demotions are dropped and counted.
+	if _, ok := c.Get("sick-31"); !ok {
+		t.Fatal("DRAM-resident key unreadable while degraded")
+	}
+	if _, ok := c.Get("warm-0"); ok {
+		t.Fatal("flash read served while degraded")
+	}
+	dropped := c.Stats().DemotionsDegraded
+	fill(t, c, "more", 8)
+	if got := c.Stats().DemotionsDegraded; got <= dropped {
+		t.Fatalf("DemotionsDegraded stuck at %d while degraded", got)
+	}
+	// The trip is latched: more errors don't re-trip.
+	if got := c.Stats().FlashBreakerTrips; got != 1 {
+		t.Fatalf("FlashBreakerTrips = %d, want 1", got)
+	}
+}
+
+func TestBreakerRestoresAndResumesDemotion(t *testing.T) {
+	c, inj := newFaultedCache(t, Config{
+		FlashBreakerThreshold: 3,
+		FlashRetryMin:         time.Millisecond,
+		FlashRetryMax:         5 * time.Millisecond,
+	})
+	fill(t, c, "warm", 32)
+
+	inj.FailAfter(faultfs.OpWrite, 0)
+	inj.FailAfter(faultfs.OpSync, 0)
+	fill(t, c, "sick", 32)
+	if !c.FlashDegraded() {
+		t.Fatal("breaker did not trip")
+	}
+
+	inj.Clear()
+	waitFor(t, "breaker restore", func() bool { return !c.FlashDegraded() })
+	st := c.Stats()
+	if st.FlashBreakerRestores != 1 {
+		t.Fatalf("FlashBreakerRestores = %d, want 1", st.FlashBreakerRestores)
+	}
+
+	// Demotions flow to flash again.
+	before := st.Demotions
+	fill(t, c, "healed", 32)
+	waitFor(t, "demotions to resume", func() bool { return c.Stats().Demotions > before })
+}
+
+// TestNoStaleServeAcrossOutage is the consistency half of the breaker: a
+// key superseded while the circuit was open must not be served from its
+// stale flash copy after restore.
+func TestNoStaleServeAcrossOutage(t *testing.T) {
+	c, inj := newFaultedCache(t, Config{
+		FlashBreakerThreshold: 3,
+		FlashRetryMin:         time.Millisecond,
+		FlashRetryMax:         5 * time.Millisecond,
+	})
+	c.Set("victim", []byte("stale"))
+	fill(t, c, "warm", 32) // push victim out of DRAM and onto flash
+	if c.engine.Contains("victim") {
+		t.Skip("victim still DRAM-resident; eviction order changed")
+	}
+	if !c.flash.store.Contains("victim") {
+		t.Fatalf("victim not demoted to flash")
+	}
+
+	inj.FailAfter(faultfs.OpWrite, 0)
+	inj.FailAfter(faultfs.OpSync, 0)
+	fill(t, c, "sick", 32)
+	if !c.FlashDegraded() {
+		t.Fatal("breaker did not trip")
+	}
+
+	// Supersede the flash copy while the disk is down, then evict the new
+	// value from DRAM too (the demotion is dropped — tier degraded).
+	c.Delete("victim")
+	if _, ok := c.Get("victim"); ok {
+		t.Fatal("deleted key served while degraded")
+	}
+
+	inj.Clear()
+	waitFor(t, "breaker restore", func() bool { return !c.FlashDegraded() })
+	if v, ok := c.Get("victim"); ok {
+		t.Fatalf("stale flash copy %q served after restore", v)
+	}
+	if c.flash.store.Contains("victim") {
+		t.Fatal("restore sweep left the superseded flash copy indexed")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	c, inj := newFaultedCache(t, Config{FlashBreakerThreshold: -1})
+	fill(t, c, "warm", 32)
+	inj.FailAfter(faultfs.OpWrite, 0)
+	inj.FailAfter(faultfs.OpSync, 0)
+	fill(t, c, "sick", 64) // still no client-visible errors
+	st := c.Stats()
+	if st.FlashDegraded || st.FlashBreakerTrips != 0 {
+		t.Fatalf("disabled breaker tripped: %+v", st)
+	}
+	if st.FlashErrors == 0 {
+		t.Fatal("errors not counted with breaker disabled")
+	}
+	// A healthy write resets the consecutive count; serving continues.
+	inj.Clear()
+	fill(t, c, "healed", 8)
+	if c.FlashDegraded() {
+		t.Fatal("degraded after faults lifted with breaker disabled")
+	}
+}
+
+// TestCloseWhileDegraded checks shutdown ordering: Close must stop the
+// background prober before closing the store it probes, even while the
+// disk is still failing.
+func TestCloseWhileDegraded(t *testing.T) {
+	inj := faultfs.New(faultfs.OS(), 1)
+	c, err := New(Config{
+		MaxBytes:              4 << 10,
+		Shards:                1,
+		FlashDir:              t.TempDir(),
+		FlashBytes:            1 << 20,
+		FlashSegmentBytes:     16 << 10,
+		FlashFS:               inj,
+		FlashBreakerThreshold: 3,
+		FlashRetryMin:         time.Millisecond,
+		FlashRetryMax:         2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fill(t, c, "warm", 32)
+	inj.FailAfter(faultfs.OpWrite, 0)
+	inj.FailAfter(faultfs.OpSync, 0)
+	fill(t, c, "sick", 32)
+	if !c.FlashDegraded() {
+		t.Fatal("breaker did not trip")
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Close() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung waiting for the prober")
+	}
+}

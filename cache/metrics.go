@@ -181,6 +181,8 @@ func registerFlashFuncs(reg *telemetry.Registry, c *Cache) {
 		func() uint64 { return atomic.LoadUint64(&t.demotedClean) })
 	reg.CounterFunc("cache_flash_demotions_total", demHelp, lbl("declined"),
 		func() uint64 { return atomic.LoadUint64(&t.declined) })
+	reg.CounterFunc("cache_flash_demotions_total", demHelp, lbl("degraded"),
+		func() uint64 { return atomic.LoadUint64(&t.dropped) })
 	reg.CounterFunc("cache_flash_write_through_total",
 		"Sets written through to flash by ghost admission.",
 		nil, func() uint64 { return atomic.LoadUint64(&t.writeThrough) })
@@ -197,4 +199,24 @@ func registerFlashFuncs(reg *telemetry.Registry, c *Cache) {
 		nil, func() float64 { return float64(t.store.Segments()) })
 	reg.GaugeFunc("cache_flash_entries", "Entries indexed in the flash tier.",
 		nil, func() float64 { return float64(t.store.Len()) })
+
+	// Breaker health (DESIGN.md §10): alert on cache_flash_degraded == 1
+	// or a rising trip rate.
+	reg.CounterFunc("cache_flash_errors_total",
+		"Flash I/O errors observed, including background probes.",
+		nil, func() uint64 { return t.br.errors.Load() })
+	reg.GaugeFunc("cache_flash_degraded",
+		"1 while the flash breaker is open and the cache serves DRAM-only.",
+		nil, func() float64 {
+			if t.available() {
+				return 0
+			}
+			return 1
+		})
+	evLbl := func(v string) telemetry.Labels { return telemetry.Labels{{Key: "event", Value: v}} }
+	brHelp := "Flash breaker state transitions: trip (degraded) and restore (healthy)."
+	reg.CounterFunc("cache_flash_breaker_events_total", brHelp, evLbl("trip"),
+		func() uint64 { return t.br.trips.Load() })
+	reg.CounterFunc("cache_flash_breaker_events_total", brHelp, evLbl("restore"),
+		func() uint64 { return t.br.restores.Load() })
 }

@@ -19,17 +19,23 @@ import (
 	"s3fifo/internal/sketch"
 )
 
-// flashTier couples the on-disk store with the admission policy and the
-// tier's counters.
+// flashTier couples the on-disk store with the admission policy, the
+// circuit breaker, and the tier's counters.
 type flashTier struct {
 	store *flash.Store
 	adm   admitter
+	br    *breaker
 
 	demoted      uint64 // written to flash at DRAM eviction
 	demotedClean uint64 // admitted, but a valid flash copy already existed
 	declined     uint64 // rejected by the admission policy
 	writeThrough uint64 // written at Set time on a ghost re-request
+	dropped      uint64 // demotions dropped while degraded (breaker open)
 }
+
+// available reports whether the flash tier is currently serving (breaker
+// closed).
+func (t *flashTier) available() bool { return t.br.available() }
 
 // admitter decides which entries are worth a flash write. Implementations
 // must be safe for concurrent use: shards call them under their own locks.
@@ -88,11 +94,13 @@ func newFlashTier(cfg Config) (*flashTier, error) {
 		Dir:          cfg.FlashDir,
 		MaxBytes:     cfg.FlashBytes,
 		SegmentBytes: cfg.FlashSegmentBytes,
+		FS:           cfg.FlashFS,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &flashTier{store: store, adm: mk(cfg)}, nil
+	br := newBreaker(store, cfg.FlashBreakerThreshold, cfg.FlashRetryMin, cfg.FlashRetryMax)
+	return &flashTier{store: store, adm: mk(cfg), br: br}, nil
 }
 
 // demote runs at DRAM eviction, inside the engine's eviction hook and
@@ -102,6 +110,12 @@ func newFlashTier(cfg Config) (*flashTier, error) {
 func (t *flashTier) demote(ev EngineEviction) bool {
 	key := ev.Key
 	if len(key) == 0 || len(key) >= flash.MaxKeyLen || len(ev.Value) > flash.MaxValueLen {
+		return false
+	}
+	// Degraded mode: the entry leaves the cache entirely rather than
+	// touching a disk the breaker has declared sick.
+	if !t.br.available() {
+		atomic.AddUint64(&t.dropped, 1)
 		return false
 	}
 	// Admission IDs are hashed from the key so admitEvicted and
@@ -117,7 +131,9 @@ func (t *flashTier) demote(ev EngineEviction) bool {
 		atomic.AddUint64(&t.demotedClean, 1)
 		return true
 	}
-	if t.store.Put(key, ev.Value, ev.ExpiresAt) != nil {
+	err := t.store.Put(key, ev.Value, ev.ExpiresAt)
+	t.br.note(err)
+	if err != nil {
 		return false
 	}
 	atomic.AddUint64(&t.demoted, 1)
@@ -137,15 +153,39 @@ func (ev EngineEviction) expired() bool {
 // returns, which both engines guarantee is after any in-flight demotion
 // of the superseded value has settled.
 func (t *flashTier) onSet(key string, id uint64, value []byte, stored bool) {
-	t.store.Delete(key)
+	if t.br.markDirtyIfDegraded(key) {
+		return // superseded copy is tombstoned by the breaker's restore
+	}
+	t.supersede(key)
 	if !stored || len(key) >= flash.MaxKeyLen || len(value) > flash.MaxValueLen {
 		return
 	}
 	if t.adm.admitInsert(id, entrySize(key, value)) {
-		if t.store.Put(key, value, 0) == nil {
+		err := t.store.Put(key, value, 0)
+		t.br.note(err)
+		if err == nil {
 			atomic.AddUint64(&t.writeThrough, 1)
 		}
 	}
+}
+
+// supersede tombstones any flash copy of key, feeding the disk outcome to
+// the breaker. No-op deletes (key not on flash) touch no disk and so
+// carry no health signal.
+func (t *flashTier) supersede(key string) {
+	if wrote, err := t.store.Delete(key); wrote {
+		t.br.note(err)
+	}
+}
+
+// invalidate is the facade's Set(TTL)/Delete supersession entry: while
+// degraded the key is queued for the breaker's restore sweep, otherwise
+// the flash copy is tombstoned now.
+func (t *flashTier) invalidate(key string) {
+	if t.br.markDirtyIfDegraded(key) {
+		return
+	}
+	t.supersede(key)
 }
 
 // --- admission policies ---

@@ -3,12 +3,22 @@
 // protocol over a single TCP connection; the client is safe for
 // concurrent use (requests are serialized on the connection, like a
 // classic memcached text-protocol client).
+//
+// The client is hardened for flaky networks: dial and per-operation
+// timeouts, plus bounded retry with jittered exponential backoff
+// (Options.Retries). An I/O failure mid-operation drops the connection
+// and redials before the next attempt — the protocol has no framing to
+// resynchronize a half-read response. Server-reported protocol errors
+// (*ServerError) are never retried: the server got the request and
+// rejected it, so retrying cannot change the answer.
 package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"strconv"
 	"strings"
@@ -16,34 +26,179 @@ import (
 	"time"
 )
 
-// Client is a connection to an s3cached server. Create one with Dial.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+// Defaults for Options zero values.
+const (
+	defaultDialTimeout  = 5 * time.Second
+	defaultRetryBackoff = 10 * time.Millisecond
+	maxRetryBackoff     = time.Second
+)
+
+// Options tunes the client's network behavior. The zero value gives a
+// 5s dial timeout, no per-operation deadline, and no retries — the
+// behavior of Dial.
+type Options struct {
+	// DialTimeout bounds connection establishment (and re-dials during
+	// retry). 0 means 5s; negative means no timeout.
+	DialTimeout time.Duration
+	// OpTimeout, when positive, is a deadline applied to each operation
+	// attempt (write + response read).
+	OpTimeout time.Duration
+	// Retries is how many additional attempts an operation gets after an
+	// I/O failure. Each retry redials the server. Protocol errors
+	// (*ServerError) are never retried.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; it doubles
+	// per attempt (capped at 1s) with up to 50% random jitter so a fleet
+	// of clients doesn't retry in lockstep. 0 means 10ms.
+	RetryBackoff time.Duration
 }
 
-// Dial connects to an s3cached server at addr ("host:port").
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = defaultDialTimeout
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = defaultRetryBackoff
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	return o
+}
+
+// ServerError is a protocol-level rejection reported by the server (an
+// "ERROR <reason>" line). The request was delivered and refused, so the
+// client never retries these.
+type ServerError struct {
+	Reason string
+}
+
+func (e *ServerError) Error() string { return "client: server error: " + e.Reason }
+
+// Client is a connection to an s3cached server. Create one with Dial or
+// DialOptions.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	closed bool
+}
+
+// Dial connects to an s3cached server at addr ("host:port") with default
+// Options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to an s3cached server at addr with explicit
+// network options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.redialLocked(); err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 16<<10),
-		w:    bufio.NewWriterSize(conn, 16<<10),
-	}, nil
+	return c, nil
 }
 
-// Close terminates the connection.
+// redialLocked (re)establishes the connection. Callers hold c.mu.
+func (c *Client) redialLocked() error {
+	timeout := c.opts.DialTimeout
+	if timeout < 0 {
+		timeout = 0 // net.DialTimeout: 0 means no timeout
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, timeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 16<<10)
+	c.w = bufio.NewWriterSize(conn, 16<<10)
+	return nil
+}
+
+// teardownLocked drops a connection whose protocol state is unknown.
+func (c *Client) teardownLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// backoff returns the jittered delay before retry attempt (0-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.RetryBackoff << attempt
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	// Up to +50% jitter: desynchronizes a fleet retrying the same outage.
+	return d + time.Duration(rand.Int64N(int64(d)/2+1))
+}
+
+// do runs one operation attempt-loop. op writes a request and parses the
+// response on a healthy connection. I/O errors tear the connection down
+// and retry (redialing) up to opts.Retries times; *ServerError returns
+// immediately.
+func (c *Client) do(op func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if c.closed {
+			return net.ErrClosed
+		}
+		err = nil
+		if c.conn == nil {
+			err = c.redialLocked()
+		}
+		if err == nil {
+			if c.opts.OpTimeout > 0 {
+				c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout))
+			}
+			err = op()
+		}
+		if err == nil {
+			return nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			return err // delivered and rejected: retrying cannot help
+		}
+		// I/O failure: the response stream may be mid-frame, so the
+		// connection cannot be reused.
+		c.teardownLocked()
+		if attempt >= c.opts.Retries {
+			return err
+		}
+		delay := c.backoff(attempt)
+		c.mu.Unlock()
+		time.Sleep(delay)
+		c.mu.Lock()
+	}
+}
+
+// Close terminates the connection. Further operations return
+// net.ErrClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
 	fmt.Fprintf(c.w, "quit\r\n")
 	c.w.Flush()
-	return c.conn.Close()
+	err := c.conn.Close()
+	c.conn = nil
+	return err
 }
 
 func (c *Client) readLine() (string, error) {
@@ -54,62 +209,74 @@ func (c *Client) readLine() (string, error) {
 	return strings.TrimRight(line, "\r\n"), nil
 }
 
-// errFor converts an ERROR response line into an error.
+// errFor converts an ERROR response line into a *ServerError.
 func errFor(line string) error {
-	return fmt.Errorf("client: server error: %s", strings.TrimPrefix(line, "ERROR "))
+	return &ServerError{Reason: strings.TrimPrefix(line, "ERROR ")}
 }
 
 // Get fetches key. The second result is false on a cache miss.
 func (c *Client) Get(key string) ([]byte, bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := fmt.Fprintf(c.w, "get %s\r\n", key); err != nil {
-		return nil, false, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return nil, false, err
-	}
-	line, err := c.readLine()
+	var value []byte
+	var ok bool
+	err := c.do(func() error {
+		value, ok = nil, false
+		if _, err := fmt.Fprintf(c.w, "get %s\r\n", key); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		switch {
+		case line == "END":
+			return nil
+		case strings.HasPrefix(line, "ERROR"):
+			return errFor(line)
+		case strings.HasPrefix(line, "VALUE "):
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return fmt.Errorf("client: malformed VALUE line %q", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return fmt.Errorf("client: bad length in %q", line)
+			}
+			value = make([]byte, n)
+			if _, err := io.ReadFull(c.r, value); err != nil {
+				return err
+			}
+			// Consume the value terminator and the END line.
+			if _, err := c.readLine(); err != nil {
+				return err
+			}
+			end, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			if end != "END" {
+				return fmt.Errorf("client: expected END, got %q", end)
+			}
+			ok = true
+			return nil
+		default:
+			return fmt.Errorf("client: unexpected response %q", line)
+		}
+	})
 	if err != nil {
 		return nil, false, err
 	}
-	switch {
-	case line == "END":
-		return nil, false, nil
-	case strings.HasPrefix(line, "ERROR"):
-		return nil, false, errFor(line)
-	case strings.HasPrefix(line, "VALUE "):
-		fields := strings.Fields(line)
-		if len(fields) != 3 {
-			return nil, false, fmt.Errorf("client: malformed VALUE line %q", line)
-		}
-		n, err := strconv.Atoi(fields[2])
-		if err != nil || n < 0 {
-			return nil, false, fmt.Errorf("client: bad length in %q", line)
-		}
-		value := make([]byte, n)
-		if _, err := io.ReadFull(c.r, value); err != nil {
-			return nil, false, err
-		}
-		// Consume the value terminator and the END line.
-		if _, err := c.readLine(); err != nil {
-			return nil, false, err
-		}
-		end, err := c.readLine()
-		if err != nil {
-			return nil, false, err
-		}
-		if end != "END" {
-			return nil, false, fmt.Errorf("client: expected END, got %q", end)
-		}
-		return value, true, nil
-	default:
-		return nil, false, fmt.Errorf("client: unexpected response %q", line)
-	}
+	return value, ok, nil
 }
 
 // Set stores value under key. It returns false when the server declined
 // to store the entry (e.g. larger than the cache).
+//
+// Retry caveat: a retried Set may apply twice when the first response
+// was lost after the server stored the entry. Set is idempotent per
+// (key, value), so the only observable effect is eviction-order noise.
 func (c *Client) Set(key string, value []byte) (bool, error) {
 	return c.set(key, value, 0)
 }
@@ -120,57 +287,71 @@ func (c *Client) SetWithTTL(key string, value []byte, ttl time.Duration) (bool, 
 }
 
 func (c *Client) set(key string, value []byte, ttl time.Duration) (bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if ttl > 0 {
-		secs := int((ttl + time.Second - 1) / time.Second)
-		fmt.Fprintf(c.w, "set %s %d %d\r\n", key, len(value), secs)
-	} else {
-		fmt.Fprintf(c.w, "set %s %d\r\n", key, len(value))
-	}
-	c.w.Write(value)
-	c.w.WriteString("\r\n")
-	if err := c.w.Flush(); err != nil {
-		return false, err
-	}
-	line, err := c.readLine()
+	var stored bool
+	err := c.do(func() error {
+		if ttl > 0 {
+			secs := int((ttl + time.Second - 1) / time.Second)
+			fmt.Fprintf(c.w, "set %s %d %d\r\n", key, len(value), secs)
+		} else {
+			fmt.Fprintf(c.w, "set %s %d\r\n", key, len(value))
+		}
+		c.w.Write(value)
+		c.w.WriteString("\r\n")
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		switch {
+		case line == "STORED":
+			stored = true
+			return nil
+		case line == "NOT_STORED":
+			stored = false
+			return nil
+		case strings.HasPrefix(line, "ERROR"):
+			return errFor(line)
+		default:
+			return fmt.Errorf("client: unexpected response %q", line)
+		}
+	})
 	if err != nil {
 		return false, err
 	}
-	switch {
-	case line == "STORED":
-		return true, nil
-	case line == "NOT_STORED":
-		return false, nil
-	case strings.HasPrefix(line, "ERROR"):
-		return false, errFor(line)
-	default:
-		return false, fmt.Errorf("client: unexpected response %q", line)
-	}
+	return stored, nil
 }
 
 // Delete removes key. The result reports whether the key existed.
 func (c *Client) Delete(key string) (bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "delete %s\r\n", key)
-	if err := c.w.Flush(); err != nil {
-		return false, err
-	}
-	line, err := c.readLine()
+	var existed bool
+	err := c.do(func() error {
+		fmt.Fprintf(c.w, "delete %s\r\n", key)
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		switch {
+		case line == "DELETED":
+			existed = true
+			return nil
+		case line == "NOT_FOUND":
+			existed = false
+			return nil
+		case strings.HasPrefix(line, "ERROR"):
+			return errFor(line)
+		default:
+			return fmt.Errorf("client: unexpected response %q", line)
+		}
+	})
 	if err != nil {
 		return false, err
 	}
-	switch {
-	case line == "DELETED":
-		return true, nil
-	case line == "NOT_FOUND":
-		return false, nil
-	case strings.HasPrefix(line, "ERROR"):
-		return false, errFor(line)
-	default:
-		return false, fmt.Errorf("client: unexpected response %q", line)
-	}
+	return existed, nil
 }
 
 // ServerStats is the typed view of the server's counters. Flash fields
@@ -195,13 +376,23 @@ type ServerStats struct {
 	Bytes             uint64
 	Capacity          uint64
 
+	// Flash health (DESIGN.md §10): breaker state and degraded-mode
+	// accounting.
+	FlashErrors          uint64
+	FlashDegraded        bool
+	FlashBreakerTrips    uint64
+	FlashBreakerRestores uint64
+	DemotionsDegraded    uint64
+
 	// Server process stats (uptime and connection/command counters).
-	UptimeSeconds    uint64
-	CurrConnections  uint64
-	TotalConnections uint64
-	CmdGet           uint64
-	CmdSet           uint64
-	CmdDelete        uint64
+	UptimeSeconds       uint64
+	CurrConnections     uint64
+	TotalConnections    uint64
+	RejectedConnections uint64
+	AcceptRetries       uint64
+	CmdGet              uint64
+	CmdSet              uint64
+	CmdDelete           uint64
 }
 
 // ServerStats fetches the server's counters into a typed struct. Stat
@@ -237,12 +428,21 @@ func (c *Client) ServerStats() (ServerStats, error) {
 		Entries:           m["entries"],
 		Bytes:             m["bytes"],
 		Capacity:          m["capacity"],
-		UptimeSeconds:     m["uptime_seconds"],
-		CurrConnections:   m["curr_connections"],
-		TotalConnections:  m["total_connections"],
-		CmdGet:            m["cmd_get"],
-		CmdSet:            m["cmd_set"],
-		CmdDelete:         m["cmd_delete"],
+
+		FlashErrors:          m["flash_errors"],
+		FlashDegraded:        m["flash_degraded"] != 0,
+		FlashBreakerTrips:    m["flash_breaker_trips"],
+		FlashBreakerRestores: m["flash_breaker_restores"],
+		DemotionsDegraded:    m["demotions_degraded"],
+
+		UptimeSeconds:       m["uptime_seconds"],
+		CurrConnections:     m["curr_connections"],
+		TotalConnections:    m["total_connections"],
+		RejectedConnections: m["rejected_connections"],
+		AcceptRetries:       m["accept_retries"],
+		CmdGet:              m["cmd_get"],
+		CmdSet:              m["cmd_set"],
+		CmdDelete:           m["cmd_delete"],
 	}, nil
 }
 
@@ -266,28 +466,33 @@ func (c *Client) Stats() (map[string]uint64, error) {
 
 // StatsRaw fetches every STAT line verbatim as a name -> value map.
 func (c *Client) StatsRaw() (map[string]string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "stats\r\n")
-	if err := c.w.Flush(); err != nil {
+	var out map[string]string
+	err := c.do(func() error {
+		fmt.Fprintf(c.w, "stats\r\n")
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		out = map[string]string{}
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			if line == "END" {
+				return nil
+			}
+			if strings.HasPrefix(line, "ERROR") {
+				return errFor(line)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 3 || fields[0] != "STAT" {
+				return fmt.Errorf("client: malformed stat line %q", line)
+			}
+			out[fields[1]] = fields[2]
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	out := map[string]string{}
-	for {
-		line, err := c.readLine()
-		if err != nil {
-			return nil, err
-		}
-		if line == "END" {
-			return out, nil
-		}
-		if strings.HasPrefix(line, "ERROR") {
-			return nil, errFor(line)
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 || fields[0] != "STAT" {
-			return nil, fmt.Errorf("client: malformed stat line %q", line)
-		}
-		out[fields[1]] = fields[2]
-	}
+	return out, nil
 }

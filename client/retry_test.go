@@ -1,0 +1,235 @@
+// Client hardening tests against a scriptable stub server: retry with
+// redial after dropped connections, no retry on protocol errors, and
+// operation timeouts.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer accepts connections and hands each to handler. conns counts
+// accepted connections, so tests can assert how often a client redialed.
+type stubServer struct {
+	l     net.Listener
+	conns atomic.Int64
+}
+
+func newStubServer(t *testing.T, handler func(conn net.Conn, nth int64)) *stubServer {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stubServer{l: l}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go handler(conn, s.conns.Add(1))
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return s
+}
+
+func (s *stubServer) addr() string { return s.l.Addr().String() }
+
+// serveProtocol answers get/set/delete/stats minimally and correctly.
+func serveProtocol(conn net.Conn, _ int64) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		switch {
+		case strings.HasPrefix(line, "get "):
+			fmt.Fprintf(conn, "END\r\n")
+		case strings.HasPrefix(line, "set "):
+			var key string
+			var n int
+			fmt.Sscanf(line, "set %s %d", &key, &n)
+			buf := make([]byte, n+2) // payload + CRLF
+			if _, err := r.Read(buf); err != nil {
+				return
+			}
+			fmt.Fprintf(conn, "STORED\r\n")
+		case strings.HasPrefix(line, "quit"):
+			return
+		}
+	}
+}
+
+func TestRetryRedialsAfterDroppedConn(t *testing.T) {
+	// The first two connections die before answering; the third works.
+	srv := newStubServer(t, func(conn net.Conn, nth int64) {
+		if nth <= 2 {
+			// Read the request so the client's write succeeds, then hang up
+			// mid-response.
+			buf := make([]byte, 256)
+			conn.Read(buf)
+			conn.Close()
+			return
+		}
+		serveProtocol(conn, nth)
+	})
+	c, err := DialOptions(srv.addr(), Options{
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok, err := c.Get("k"); err != nil || ok {
+		t.Fatalf("Get through flaky server = %v, %v; want miss, nil", ok, err)
+	}
+	if got := srv.conns.Load(); got != 3 {
+		t.Errorf("server saw %d connections, want 3 (1 dial + 2 redials)", got)
+	}
+}
+
+func TestRetriesExhaustedReturnsIOError(t *testing.T) {
+	srv := newStubServer(t, func(conn net.Conn, _ int64) {
+		buf := make([]byte, 256)
+		conn.Read(buf)
+		conn.Close()
+	})
+	c, err := DialOptions(srv.addr(), Options{
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.Get("k")
+	if err == nil {
+		t.Fatal("Get succeeded against a server that always hangs up")
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		t.Fatalf("I/O failure surfaced as ServerError: %v", err)
+	}
+	if got := srv.conns.Load(); got != 3 {
+		t.Errorf("server saw %d connections, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestServerErrorsAreNotRetried(t *testing.T) {
+	srv := newStubServer(t, func(conn net.Conn, _ int64) {
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		for {
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+			fmt.Fprintf(conn, "ERROR synthetic failure\r\n")
+		}
+	})
+	c, err := DialOptions(srv.addr(), Options{
+		Retries:      5,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.Get("k")
+	var se *ServerError
+	if !errors.As(err, &se) || se.Reason != "synthetic failure" {
+		t.Fatalf("err = %v, want ServerError(synthetic failure)", err)
+	}
+	if got := srv.conns.Load(); got != 1 {
+		t.Errorf("server saw %d connections; protocol errors must not redial", got)
+	}
+}
+
+func TestOpTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv := newStubServer(t, func(conn net.Conn, _ int64) {
+		defer conn.Close()
+		<-block // accept, then never answer
+	})
+	c, err := DialOptions(srv.addr(), Options{OpTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, _, err = c.Get("k")
+	if err == nil {
+		t.Fatal("Get returned against a silent server")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout took %v, deadline not applied", elapsed)
+	}
+}
+
+func TestDialTimeoutError(t *testing.T) {
+	// A listener with a full backlog is hard to fake portably; an address
+	// that refuses quickly at least drives the error path through
+	// DialOptions.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // nothing listens here now
+	if _, err := DialOptions(addr, Options{DialTimeout: time.Second}); err == nil {
+		t.Fatal("DialOptions succeeded against a closed port")
+	}
+}
+
+func TestOpsAfterCloseFail(t *testing.T) {
+	srv := newStubServer(t, serveProtocol)
+	c, err := Dial(srv.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("k"); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Get after Close = %v, want net.ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestBackoffIsBoundedAndGrows(t *testing.T) {
+	c := &Client{opts: Options{RetryBackoff: 10 * time.Millisecond}.withDefaults()}
+	prevMin := time.Duration(0)
+	for attempt := 0; attempt < 12; attempt++ {
+		base := c.opts.RetryBackoff << attempt
+		if base > maxRetryBackoff || base <= 0 {
+			base = maxRetryBackoff
+		}
+		for i := 0; i < 20; i++ {
+			d := c.backoff(attempt)
+			if d < base || d > base+base/2+1 {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v]", attempt, d, base, base+base/2)
+			}
+		}
+		if base < prevMin {
+			t.Fatalf("backoff base shrank: %v after %v", base, prevMin)
+		}
+		prevMin = base
+	}
+}

@@ -9,8 +9,14 @@
 //
 //	/metrics       Prometheus text exposition (see DESIGN.md §9)
 //	/stats         the same counters as the stats command, as JSON
-//	/healthz       liveness probe
+//	/healthz       liveness probe ("degraded: ..." while the flash
+//	               breaker is open; still HTTP 200 — DRAM serving works)
 //	/debug/pprof/  runtime profiles
+//
+// Hardening knobs: -max-conns caps simultaneous clients, -conn-timeout
+// sets per-connection idle/write deadlines, and -flash-breaker sets how
+// many consecutive flash I/O errors degrade the cache to DRAM-only
+// serving (0 disables; see DESIGN.md §10).
 //
 // -slow-op <dur> logs every cache operation at or above the threshold
 // as a structured line (op, hashed key, duration, serving tier); it also
@@ -59,8 +65,18 @@ func main() {
 	flashBytes := flag.Uint64("flash-bytes", 0, "flash tier capacity in bytes (required with -flash-dir)")
 	admission := flag.String("admission", "",
 		"flash admission policy: "+strings.Join(cache.Admissions(), ", ")+" (default all)")
+	flashBreaker := flag.Int("flash-breaker", 3,
+		"consecutive flash I/O errors before degrading to DRAM-only serving (0 disables the breaker)")
+	maxConns := flag.Int("max-conns", 0, "max simultaneous client connections (0 = unlimited)")
+	connTimeout := flag.Duration("conn-timeout", 0, "per-connection idle/write deadline (0 disables)")
 	slowOp := flag.Duration("slow-op", 0, "log cache operations at or above this duration (0 disables; times every op)")
 	flag.Parse()
+	// Flag semantics: 0 disables. Config semantics: 0 means default,
+	// negative disables. Map the operator-friendly form onto the config.
+	breakerThreshold := *flashBreaker
+	if breakerThreshold <= 0 {
+		breakerThreshold = -1
+	}
 	if *adminAddr == "" {
 		*adminAddr = *httpAddr
 	}
@@ -78,21 +94,24 @@ func main() {
 	}
 
 	c, err := cache.New(cache.Config{
-		MaxBytes:        *maxBytes,
-		Engine:          *engine,
-		Policy:          *policy,
-		Shards:          *shards,
-		FlashDir:        *flashDir,
-		FlashBytes:      *flashBytes,
-		Admission:       *admission,
-		Metrics:         reg,
-		SlowOpThreshold: *slowOp,
-		SlowOpLog:       slowLog,
+		MaxBytes:              *maxBytes,
+		Engine:                *engine,
+		Policy:                *policy,
+		Shards:                *shards,
+		FlashDir:              *flashDir,
+		FlashBytes:            *flashBytes,
+		Admission:             *admission,
+		FlashBreakerThreshold: breakerThreshold,
+		Metrics:               reg,
+		SlowOpThreshold:       *slowOp,
+		SlowOpLog:             slowLog,
 	})
 	if err != nil {
 		log.Fatal("s3cached: ", err)
 	}
-	srv := server.New(c)
+	srv := server.New(c,
+		server.WithMaxConns(*maxConns),
+		server.WithConnTimeout(*connTimeout))
 	if *adminAddr != "" {
 		srv.RegisterMetrics(reg)
 		handler := server.AdminHandler(srv, reg)

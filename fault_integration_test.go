@@ -1,0 +1,166 @@
+package s3fifo
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"s3fifo/cache"
+	"s3fifo/client"
+	"s3fifo/internal/faultfs"
+	"s3fifo/internal/server"
+)
+
+// TestFlashOutageIsInvisibleToClients is the end-to-end degradation
+// story: a full client -> TCP server -> tiered cache stack where the
+// disk under the flash tier starts failing every sync mid-run. Clients
+// must never see a request error; the breaker must trip (visible in
+// stats and /healthz), DRAM serving must continue, and once the faults
+// lift, demotion to flash must resume on its own.
+func TestFlashOutageIsInvisibleToClients(t *testing.T) {
+	inj := faultfs.New(faultfs.OS(), 1)
+	c, err := cache.New(cache.Config{
+		MaxBytes:          4 << 10,
+		Shards:            1,
+		FlashDir:          t.TempDir(),
+		FlashBytes:        1 << 20,
+		FlashSegmentBytes: 8 << 10,
+		FlashFS:           inj,
+		// Tiny backoff so the restore is observable within test time.
+		FlashBreakerThreshold: 3,
+		FlashRetryMin:         time.Millisecond,
+		FlashRetryMax:         5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(c)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	admin := httptest.NewServer(server.AdminHandler(srv, nil))
+	t.Cleanup(func() {
+		admin.Close()
+		srv.Close()
+		c.Close()
+	})
+	cl, err := client.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	val := make([]byte, 512)
+	set := func(prefix string, i int) string {
+		t.Helper()
+		key := fmt.Sprintf("%s-%d", prefix, i)
+		if ok, err := cl.Set(key, val); err != nil || !ok {
+			t.Fatalf("Set(%s) = %v, %v — flash faults leaked to the client", key, ok, err)
+		}
+		return key
+	}
+	stats := func() client.ServerStats {
+		t.Helper()
+		st, err := cl.ServerStats()
+		if err != nil {
+			t.Fatalf("ServerStats: %v", err)
+		}
+		return st
+	}
+	healthz := func() string {
+		t.Helper()
+		resp, err := http.Get(admin.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			// Degraded must NOT flip the probe: restarting the process
+			// would lose the DRAM working set too.
+			t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	// Warmup: enough Sets that DRAM (4 KiB) overflows and demotes.
+	for i := 0; i < 64; i++ {
+		set("warm", i)
+	}
+	if st := stats(); st.Demotions == 0 {
+		t.Fatalf("no demotions after warmup: %+v", st)
+	}
+	if h := healthz(); !strings.HasPrefix(h, "ok") {
+		t.Fatalf("healthy /healthz = %q", h)
+	}
+
+	// The disk dies: every flash sync fails from here. Syncs happen at
+	// segment seal, so demotions keep failing as segments fill, and after
+	// the threshold the breaker must trip — without a single client error.
+	inj.FailAfter(faultfs.OpSync, 0)
+	var lastKey string
+	tripped := false
+	for i := 0; i < 2000; i++ {
+		lastKey = set("sick", i)
+		if stats().FlashDegraded {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatalf("breaker never tripped with every sync failing: %+v", stats())
+	}
+	st := stats()
+	if st.FlashBreakerTrips < 1 || st.FlashErrors < 3 {
+		t.Fatalf("breaker state after trip: %+v", st)
+	}
+	if h := healthz(); !strings.Contains(h, "degraded") {
+		t.Fatalf("degraded /healthz = %q, want degraded marker", h)
+	}
+
+	// DRAM serving continues through the outage.
+	if v, ok, err := cl.Get(lastKey); err != nil || !ok || len(v) != len(val) {
+		t.Fatalf("DRAM Get(%s) during outage = %v, %v", lastKey, ok, err)
+	}
+	// Demotions are dropped, not attempted, while degraded.
+	for i := 0; i < 16; i++ {
+		set("degraded", i)
+	}
+	if st := stats(); st.DemotionsDegraded == 0 {
+		t.Fatalf("no dropped demotions while degraded: %+v", st)
+	}
+
+	// The disk heals: the background prober must notice, restore the
+	// tier, and demotions must start flowing again — still no client
+	// action required.
+	inj.Clear()
+	deadline := time.Now().Add(10 * time.Second)
+	for stats().FlashDegraded {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never restored after faults lifted: %+v", stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st = stats()
+	if st.FlashBreakerRestores < 1 {
+		t.Fatalf("restore not counted: %+v", st)
+	}
+	if h := healthz(); !strings.HasPrefix(h, "ok") {
+		t.Fatalf("post-restore /healthz = %q", h)
+	}
+	demotionsBefore := st.Demotions
+	for i := 0; time.Now().Before(deadline); i++ {
+		set("healed", i)
+		if stats().Demotions > demotionsBefore {
+			return // demotion resumed: full recovery
+		}
+	}
+	t.Fatalf("demotions never resumed after restore: %+v", stats())
+}

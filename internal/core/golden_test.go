@@ -1,0 +1,73 @@
+// Golden hit-ratio regression test: one fixed-seed Zipf trace through
+// every factory in this package. The eviction algorithms are entirely
+// deterministic given the request stream, so these ratios are exact
+// fingerprints of the implementation — a refactor that shifts one by
+// more than rounding noise changed eviction behavior, not style, and
+// must either be reverted or re-golden'd deliberately (with the paper's
+// figures as the sanity check).
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"s3fifo/internal/workload"
+)
+
+// Trace parameters: unit-size objects so capacity == objects cached,
+// a 100k-object universe under Zipf(1.0), cache sized to 10% of it —
+// the midpoint configuration of the paper's skew sweeps.
+const (
+	goldenSeed     = 42
+	goldenAlpha    = 1.0
+	goldenObjects  = 100_000
+	goldenRequests = 1_000_000
+	goldenCapacity = 10_000
+)
+
+// goldenHitRatios were recorded from this trace at the commit that
+// introduced the test. Tolerance is ±0.001 (a tenth of a point).
+var goldenHitRatios = map[string]float64{
+	"s3fifo":             0.777512,
+	"s3fifo-d":           0.777346,
+	"s3fifo-lru-s":       0.778246,
+	"s3fifo-lru-m":       0.778463,
+	"s3fifo-lru-both":    0.779242,
+	"s3fifo-hit-promote": 0.777550,
+	"s3fifo-sieve-m":     0.778553,
+}
+
+// hitRatioFor replays the fixed trace through the named factory.
+func hitRatioFor(t *testing.T, name string) float64 {
+	t.Helper()
+	mk, ok := Factories()[name]
+	if !ok {
+		t.Fatalf("unknown factory %q", name)
+	}
+	p := mk(goldenCapacity)
+	z := workload.NewZipf(rand.New(rand.NewSource(goldenSeed)), goldenAlpha, goldenObjects)
+	hits := 0
+	for i := 0; i < goldenRequests; i++ {
+		if p.Request(uint64(z.Sample()), 1) {
+			hits++
+		}
+	}
+	return float64(hits) / goldenRequests
+}
+
+func TestGoldenHitRatios(t *testing.T) {
+	if len(goldenHitRatios) != len(Factories()) {
+		t.Fatalf("golden table covers %d factories, package has %d — record the new one",
+			len(goldenHitRatios), len(Factories()))
+	}
+	const tolerance = 0.001
+	for name, want := range goldenHitRatios {
+		t.Run(name, func(t *testing.T) {
+			got := hitRatioFor(t, name)
+			if diff := got - want; diff > tolerance || diff < -tolerance {
+				t.Errorf("hit ratio %.4f, golden %.4f (Δ %+.4f > ±%.3f): eviction behavior changed",
+					got, want, diff, tolerance)
+			}
+		})
+	}
+}

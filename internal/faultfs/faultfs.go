@@ -1,0 +1,54 @@
+// Package faultfs is the filesystem seam under the flash tier. The flash
+// store does its I/O through the FS interface instead of the os package,
+// which makes disk failure a first-class, testable input: the Injector
+// wraps any FS with deterministic, seedable fault rules (fail the Nth
+// operation, fail everything after a point, probabilistic failures, short
+// writes, per-operation latency), so every disk-misbehavior path in the
+// tiered cache can be driven by an ordinary unit test instead of waiting
+// for a real device to die.
+//
+// OS() returns the pass-through implementation used in production; it is
+// the only place the flash tier touches the real filesystem.
+package faultfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the flash store needs: positioned reads
+// and writes (the store never uses the file cursor), durability, close.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam. All paths are interpreted as by the os
+// package; implementations must be safe for concurrent use.
+type FS interface {
+	MkdirAll(dir string, perm os.FileMode) error
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Truncate(name string, size int64) error
+	Remove(name string) error
+	Glob(pattern string) ([]string, error)
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)   { return os.ReadFile(name) }
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+func (osFS) Remove(name string) error               { return os.Remove(name) }
+func (osFS) Glob(pattern string) ([]string, error)  { return filepath.Glob(pattern) }

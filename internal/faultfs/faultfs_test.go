@@ -1,0 +1,228 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// openRW creates (or opens) a file for positioned I/O through fs.
+func openRW(t *testing.T, fs FS, path string) File {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return f
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	fs := OS()
+	dir := filepath.Join(t.TempDir(), "sub")
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	path := filepath.Join(dir, "a.seg")
+	f := openRW(t, fs, path)
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("ReadAt = %q, want world", buf)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := fs.Truncate(path, 5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if data, _ = fs.ReadFile(path); string(data) != "hello" {
+		t.Fatalf("after truncate = %q", data)
+	}
+	got, err := fs.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Glob = %v, %v", got, err)
+	}
+	if err := fs.Remove(path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := fs.ReadFile(path); err == nil {
+		t.Fatal("ReadFile after Remove succeeded")
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	inj := New(OS(), 1)
+	path := filepath.Join(t.TempDir(), "f")
+	f := openRW(t, inj, path)
+	defer f.Close()
+
+	inj.FailAfter(OpWrite, 2)
+	for k := 0; k < 2; k++ {
+		if _, err := f.WriteAt([]byte("x"), int64(k)); err != nil {
+			t.Fatalf("write %d should succeed: %v", k, err)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if _, err := f.WriteAt([]byte("x"), 2); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write after budget: err = %v, want ErrInjected", err)
+		}
+	}
+	inj.Clear()
+	if _, err := f.WriteAt([]byte("x"), 2); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+}
+
+func TestFailNthFailsExactlyOnce(t *testing.T) {
+	inj := New(OS(), 1)
+	path := filepath.Join(t.TempDir(), "f")
+	f := openRW(t, inj, path)
+	defer f.Close()
+
+	inj.FailNth(OpSync, 2)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2: err = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+}
+
+func TestFailProbDeterministic(t *testing.T) {
+	outcomes := func(seed int64) []bool {
+		inj := New(OS(), seed)
+		inj.FailProb(OpSync, 0.5)
+		f := openRW(t, inj, filepath.Join(t.TempDir(), "f"))
+		defer f.Close()
+		var out []bool
+		for k := 0; k < 64; k++ {
+			out = append(out, f.Sync() != nil)
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	fails := 0
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("same seed diverged at op %d", k)
+		}
+		if a[k] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("p=0.5 over %d ops produced %d failures", len(a), fails)
+	}
+}
+
+func TestShortWriteOnce(t *testing.T) {
+	inj := New(OS(), 1)
+	path := filepath.Join(t.TempDir(), "f")
+	f := openRW(t, inj, path)
+	defer f.Close()
+
+	inj.ShortWriteOnce(3)
+	n, err := f.WriteAt([]byte("abcdef"), 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write err = %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("short write persisted %d bytes, want 3", n)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "abc" {
+		t.Fatalf("on disk = %q, %v", data, err)
+	}
+	// One-shot: the next write goes through whole.
+	if _, err := f.WriteAt([]byte("abcdef"), 0); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	inj := New(OS(), 1)
+	f := openRW(t, inj, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+
+	const d = 20 * time.Millisecond
+	inj.SetLatency(OpSync, d)
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if took := time.Since(start); took < d {
+		t.Fatalf("latency %v < injected %v", took, d)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	inj := New(OS(), 1)
+	f := openRW(t, inj, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	if got := inj.Count(OpOpen); got != 1 {
+		t.Fatalf("open count = %d, want 1", got)
+	}
+	f.WriteAt([]byte("x"), 0)
+	f.WriteAt([]byte("x"), 1)
+	f.Sync()
+	if got := inj.Count(OpWrite); got != 2 {
+		t.Fatalf("write count = %d, want 2", got)
+	}
+	if got := inj.Count(OpSync); got != 1 {
+		t.Fatalf("sync count = %d, want 1", got)
+	}
+}
+
+// TestConcurrentRuleChanges exercises the injector under the race
+// detector: file ops on several goroutines while rules are re-armed.
+func TestConcurrentRuleChanges(t *testing.T) {
+	inj := New(OS(), 7)
+	f := openRW(t, inj, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := []byte{byte(g)}
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.WriteAt(buf, int64(k%128))
+				f.Sync()
+				f.ReadAt(buf, int64(k%128))
+			}
+		}(g)
+	}
+	for k := 0; k < 200; k++ {
+		inj.FailProb(OpWrite, 0.3)
+		inj.FailAfter(OpSync, uint64(k))
+		inj.ShortWriteOnce(0)
+		inj.Clear()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,265 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error returned by every injected fault, wrapped with
+// the operation that failed. Tests assert on it with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op classifies filesystem operations for fault rules. OpRead covers both
+// ReadAt and ReadFile; OpOpen covers OpenFile and MkdirAll.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpRead
+	OpWrite
+	OpSync
+	OpRemove
+	OpTruncate
+	numOps
+)
+
+var opNames = [numOps]string{"open", "read", "write", "sync", "remove", "truncate"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// rule is the fault configuration for one operation class.
+type rule struct {
+	// failAfter: once count exceeds this, every op fails. -1 = off.
+	// failAfter = 0 fails everything from the first op on.
+	failAfter int64
+	// failNth holds 1-based op ordinals that fail exactly once.
+	failNth map[uint64]bool
+	// failProb in [0, 1]: each op fails independently with this chance,
+	// drawn from the injector's seeded generator.
+	failProb float64
+	latency  time.Duration
+}
+
+// Injector wraps an FS and injects deterministic faults. The zero rules
+// pass everything through; arm faults with FailAfter, FailNth, FailProb,
+// ShortWriteOnce, and SetLatency, and drop them all with Clear. All
+// methods are safe for concurrent use, and the probabilistic draws come
+// from a generator seeded at construction, so a given seed and operation
+// sequence always produces the same faults.
+type Injector struct {
+	inner FS
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	counts     [numOps]uint64
+	rules      [numOps]rule
+	shortWrite int64 // >= 0: next WriteAt persists only this many bytes, once
+}
+
+// New wraps inner with a fault injector seeded with seed.
+func New(inner FS, seed int64) *Injector {
+	inj := &Injector{inner: inner, rng: rand.New(rand.NewSource(seed)), shortWrite: -1}
+	for i := range inj.rules {
+		inj.rules[i].failAfter = -1
+	}
+	return inj
+}
+
+// FailAfter arms a persistent fault: the next n operations of class op
+// succeed, every one after that fails (n = 0 fails them all). It models a
+// device that dies and stays dead until Clear.
+func (i *Injector) FailAfter(op Op, n uint64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules[op].failAfter = int64(i.counts[op] + n)
+}
+
+// FailNth makes the nth (1-based, counted from construction or the last
+// Clear) operation of class op fail exactly once.
+func (i *Injector) FailNth(op Op, nth uint64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.rules[op].failNth == nil {
+		i.rules[op].failNth = make(map[uint64]bool)
+	}
+	i.rules[op].failNth[nth] = true
+}
+
+// FailProb makes each operation of class op fail independently with
+// probability p, drawn from the injector's seeded generator.
+func (i *Injector) FailProb(op Op, p float64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules[op].failProb = p
+}
+
+// ShortWriteOnce makes the next WriteAt persist only the first n bytes of
+// its buffer before failing — a torn append, the crash-consistency case
+// segment recovery must truncate away.
+func (i *Injector) ShortWriteOnce(n int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.shortWrite = int64(n)
+}
+
+// SetLatency makes every operation of class op sleep d before executing —
+// a slow device rather than a broken one.
+func (i *Injector) SetLatency(op Op, d time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules[op].latency = d
+}
+
+// Clear drops every armed fault and resets the per-op counters.
+func (i *Injector) Clear() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for op := range i.rules {
+		i.rules[op] = rule{failAfter: -1}
+	}
+	i.shortWrite = -1
+	i.counts = [numOps]uint64{}
+}
+
+// Count returns how many operations of class op have been attempted.
+func (i *Injector) Count(op Op) uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.counts[op]
+}
+
+// check records one operation of class op and decides whether it faults.
+// It returns the latency to sleep (applied by the caller outside the
+// lock) and the injected error, if any.
+func (i *Injector) check(op Op) (time.Duration, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.counts[op]++
+	n := i.counts[op]
+	r := &i.rules[op]
+	lat := r.latency
+	switch {
+	case r.failAfter >= 0 && int64(n) > r.failAfter:
+		return lat, fmt.Errorf("%s: %w", op, ErrInjected)
+	case r.failNth[n]:
+		delete(r.failNth, n)
+		return lat, fmt.Errorf("%s: %w", op, ErrInjected)
+	case r.failProb > 0 && i.rng.Float64() < r.failProb:
+		return lat, fmt.Errorf("%s: %w", op, ErrInjected)
+	}
+	return lat, nil
+}
+
+// takeShortWrite consumes an armed short write, returning the byte count
+// to persist and whether one was armed.
+func (i *Injector) takeShortWrite() (int, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.shortWrite < 0 {
+		return 0, false
+	}
+	n := int(i.shortWrite)
+	i.shortWrite = -1
+	return n, true
+}
+
+func (i *Injector) run(op Op) error {
+	lat, err := i.check(op)
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	return err
+}
+
+func (i *Injector) MkdirAll(dir string, perm os.FileMode) error {
+	if err := i.run(OpOpen); err != nil {
+		return err
+	}
+	return i.inner.MkdirAll(dir, perm)
+}
+
+func (i *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := i.run(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := i.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, i: i}, nil
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	if err := i.run(OpRead); err != nil {
+		return nil, err
+	}
+	return i.inner.ReadFile(name)
+}
+
+func (i *Injector) Truncate(name string, size int64) error {
+	if err := i.run(OpTruncate); err != nil {
+		return err
+	}
+	return i.inner.Truncate(name, size)
+}
+
+func (i *Injector) Remove(name string) error {
+	if err := i.run(OpRemove); err != nil {
+		return err
+	}
+	return i.inner.Remove(name)
+}
+
+func (i *Injector) Glob(pattern string) ([]string, error) {
+	return i.inner.Glob(pattern)
+}
+
+// injFile routes a file's operations back through its injector.
+type injFile struct {
+	f File
+	i *Injector
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.i.run(OpRead); err != nil {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *injFile) WriteAt(p []byte, off int64) (int, error) {
+	if n, ok := f.i.takeShortWrite(); ok {
+		if n > len(p) {
+			n = len(p)
+		}
+		wrote, err := f.f.WriteAt(p[:n], off)
+		if err != nil {
+			return wrote, err
+		}
+		return wrote, fmt.Errorf("write (short, %d/%d bytes): %w", wrote, len(p), ErrInjected)
+	}
+	if err := f.i.run(OpWrite); err != nil {
+		return 0, err
+	}
+	return f.f.WriteAt(p, off)
+}
+
+func (f *injFile) Sync() error {
+	if err := f.i.run(OpSync); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+// Close is never failed: fault rules model a sick device, and refusing to
+// release file handles would only leak them in the host process.
+func (f *injFile) Close() error { return f.f.Close() }

@@ -1,0 +1,224 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"s3fifo/internal/faultfs"
+)
+
+// openInjected opens a store in a temp dir on a fault injector with small
+// segments so tests hit the seal/roll path quickly.
+func openInjected(t *testing.T, seed int64) (*Store, *faultfs.Injector) {
+	t.Helper()
+	inj := faultfs.New(faultfs.OS(), seed)
+	s, err := Open(Options{
+		Dir:          t.TempDir(),
+		MaxBytes:     64 << 10,
+		SegmentBytes: 4 << 10,
+		FS:           inj,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, inj
+}
+
+func TestPutFailsOnWriteFault(t *testing.T) {
+	s, inj := openInjected(t, 1)
+	if err := s.Put("k", []byte("v"), 0); err != nil {
+		t.Fatalf("healthy Put: %v", err)
+	}
+	inj.FailAfter(faultfs.OpWrite, 0)
+	if err := s.Put("k2", []byte("v2"), 0); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Put on dead disk: err = %v, want ErrInjected", err)
+	}
+	// The failed record must not be indexed.
+	if _, _, ok := s.Get("k2"); ok {
+		t.Fatal("failed Put is readable")
+	}
+	// Earlier data still served.
+	if v, _, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("Get(k) = %q, %v after write fault", v, ok)
+	}
+	inj.Clear()
+	if err := s.Put("k2", []byte("v2"), 0); err != nil {
+		t.Fatalf("Put after faults lifted: %v", err)
+	}
+}
+
+// TestSyncFailureBlocksSealThenRecovers drives the sync-on-seal path: with
+// every sync failing, the append that needs to roll the active segment
+// keeps failing — and starts succeeding again as soon as syncs do.
+func TestSyncFailureBlocksSealThenRecovers(t *testing.T) {
+	s, inj := openInjected(t, 1)
+	val := make([]byte, 512)
+	// Fill the 4 KiB active segment so the next Put must seal it.
+	n := 0
+	for s.active().size < s.opts.SegmentBytes {
+		if err := s.Put(fmt.Sprintf("warm-%d", n), val, 0); err != nil {
+			t.Fatalf("warmup Put: %v", err)
+		}
+		n++
+	}
+	inj.FailAfter(faultfs.OpSync, 0)
+	for k := 0; k < 3; k++ {
+		if err := s.Put("blocked", val, 0); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("Put %d during sync outage: err = %v, want ErrInjected", k, err)
+		}
+	}
+	// Reads keep working through the outage.
+	if _, _, ok := s.Get("warm-0"); !ok {
+		t.Fatal("read failed during sync outage")
+	}
+	inj.Clear()
+	if err := s.Put("blocked", val, 0); err != nil {
+		t.Fatalf("Put after sync outage: %v", err)
+	}
+	if _, _, ok := s.Get("blocked"); !ok {
+		t.Fatal("post-outage Put not readable")
+	}
+}
+
+// TestShortWriteRecoveredAsTornTail arms a short write, then reopens the
+// directory: recovery must truncate the torn record and keep everything
+// before it.
+func TestShortWriteRecoveredAsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultfs.New(faultfs.OS(), 1)
+	opts := Options{Dir: dir, MaxBytes: 64 << 10, SegmentBytes: 8 << 10, FS: inj}
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for k := 0; k < 4; k++ {
+		if err := s.Put(fmt.Sprintf("keep-%d", k), []byte("value"), 0); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	inj.ShortWriteOnce(headerSize + 2) // tear mid-key
+	if err := s.Put("torn", []byte("lost"), 0); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("torn Put err = %v, want ErrInjected", err)
+	}
+	// Simulate a crash: drop the store without Close (Close would sync,
+	// which is fine, but we want the torn bytes on disk regardless).
+	s.closeAll()
+
+	re, err := Open(Options{Dir: dir, MaxBytes: 64 << 10, SegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	if st.TruncatedBytes == 0 {
+		t.Fatalf("recovery truncated nothing; stats = %+v", st)
+	}
+	if st.CorruptDropped != 0 {
+		t.Fatalf("torn tail misclassified as corruption: %+v", st)
+	}
+	for k := 0; k < 4; k++ {
+		if v, _, ok := re.Get(fmt.Sprintf("keep-%d", k)); !ok || string(v) != "value" {
+			t.Fatalf("keep-%d lost after torn-tail recovery (%q, %v)", k, v, ok)
+		}
+	}
+	if _, _, ok := re.Get("torn"); ok {
+		t.Fatal("torn record resurrected")
+	}
+}
+
+func TestReadFaultCountsAsMiss(t *testing.T) {
+	s, inj := openInjected(t, 1)
+	if err := s.Put("k", []byte("v"), 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	inj.FailAfter(faultfs.OpRead, 0)
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("Get succeeded through a read fault")
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.CorruptDropped != 1 {
+		t.Fatalf("stats after read fault = %+v", st)
+	}
+	// The unreadable record was dropped from the index: still a miss with
+	// the fault lifted.
+	inj.Clear()
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("dropped record resurrected")
+	}
+}
+
+func TestDeleteReportsDiskActivity(t *testing.T) {
+	s, inj := openInjected(t, 1)
+	if err := s.Put("k", []byte("v"), 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if wrote, err := s.Delete("absent"); wrote || err != nil {
+		t.Fatalf("Delete(absent) = %v, %v; want false, nil", wrote, err)
+	}
+	inj.FailAfter(faultfs.OpWrite, 0)
+	wrote, err := s.Delete("k")
+	if !wrote || !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Delete(k) on dead disk = %v, %v; want true, ErrInjected", wrote, err)
+	}
+	// Even with the tombstone append failed, the in-memory index dropped
+	// the key.
+	if s.Contains("k") {
+		t.Fatal("key survived failed Delete in memory")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	s, inj := openInjected(t, 1)
+	inj.SetLatency(faultfs.OpWrite, 0) // exercise the code path; zero keeps the test fast
+	if err := s.Put("k", []byte("v"), 0); err != nil {
+		t.Fatalf("Put with latency rule: %v", err)
+	}
+}
+
+func TestResetEmptiesStore(t *testing.T) {
+	s, _ := openInjected(t, 1)
+	for k := 0; k < 20; k++ {
+		if err := s.Put(fmt.Sprintf("k-%d", k), make([]byte, 512), 0); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if s.Len() == 0 || s.DiskUsed() == 0 {
+		t.Fatal("store empty before Reset")
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if s.Len() != 0 || s.LiveBytes() != 0 {
+		t.Fatalf("after Reset: len=%d live=%d", s.Len(), s.LiveBytes())
+	}
+	if s.Segments() != 1 {
+		t.Fatalf("after Reset: %d segments, want 1 fresh active", s.Segments())
+	}
+	if err := s.Put("post", []byte("reset"), 0); err != nil {
+		t.Fatalf("Put after Reset: %v", err)
+	}
+	if v, _, ok := s.Get("post"); !ok || string(v) != "reset" {
+		t.Fatalf("Get after Reset = %q, %v", v, ok)
+	}
+}
+
+func TestOpsAfterCloseFailCleanly(t *testing.T) {
+	s, _ := openInjected(t, 1)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Put("k", []byte("v"), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Reset(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Reset after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -20,6 +20,7 @@ package flash
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -29,7 +30,12 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"s3fifo/internal/faultfs"
 )
+
+// ErrClosed is returned by mutating operations on a closed store.
+var ErrClosed = errors.New("flash: store closed")
 
 // unixNow is the store's clock; Store.now indirects it for TTL tests.
 func unixNow() int64 { return time.Now().UnixNano() }
@@ -67,6 +73,9 @@ type Options struct {
 	// a new one opened. Default 4 MiB, clamped so at least 4 segments fit
 	// in MaxBytes (reclamation granularity).
 	SegmentBytes uint64
+	// FS is the filesystem the store runs on. Default faultfs.OS(); tests
+	// substitute a faultfs.Injector to drive the failure paths.
+	FS faultfs.FS
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -84,6 +93,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.SegmentBytes < 4<<10 {
 		o.SegmentBytes = 4 << 10
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS()
 	}
 	return o, nil
 }
@@ -124,7 +136,7 @@ func (r rec) size() uint64 { return headerSize + uint64(r.klen) + uint64(r.vlen)
 type segment struct {
 	seq  uint64
 	path string
-	f    *os.File
+	f    faultfs.File
 	size uint64
 }
 
@@ -139,6 +151,7 @@ type Store struct {
 	diskUsed  uint64
 	liveBytes uint64
 	stats     Stats
+	closed    bool
 
 	// now is indirected for TTL tests.
 	now func() int64
@@ -151,7 +164,7 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("flash: %w", err)
 	}
 	s := &Store{
@@ -162,7 +175,7 @@ func Open(opts Options) (*Store, error) {
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
-	if len(s.segs) == 0 || s.segs[len(s.segs)-1].size >= opts.SegmentBytes {
+	if len(s.segs) == 0 {
 		if err := s.rollLocked(); err != nil {
 			s.closeAll()
 			return nil, err
@@ -181,7 +194,7 @@ func segPath(dir string, seq uint64) string {
 // anywhere else abandons the rest of that segment (records behind it
 // cannot be located reliably).
 func (s *Store) recover() error {
-	names, err := filepath.Glob(filepath.Join(s.opts.Dir, "*.seg"))
+	names, err := s.opts.FS.Glob(filepath.Join(s.opts.Dir, "*.seg"))
 	if err != nil {
 		return fmt.Errorf("flash: %w", err)
 	}
@@ -202,7 +215,7 @@ func (s *Store) recover() error {
 
 	for i, fl := range files {
 		last := i == len(files)-1
-		data, err := os.ReadFile(fl.path)
+		data, err := s.opts.FS.ReadFile(fl.path)
 		if err != nil {
 			return fmt.Errorf("flash: recover %s: %w", fl.path, err)
 		}
@@ -210,7 +223,7 @@ func (s *Store) recover() error {
 		if last && valid < uint64(len(data)) {
 			// Torn tail: truncate so future appends start at a clean edge.
 			s.stats.TruncatedBytes += uint64(len(data)) - valid
-			if err := os.Truncate(fl.path, int64(valid)); err != nil {
+			if err := s.opts.FS.Truncate(fl.path, int64(valid)); err != nil {
 				return fmt.Errorf("flash: truncate %s: %w", fl.path, err)
 			}
 			data = data[:valid]
@@ -219,7 +232,7 @@ func (s *Store) recover() error {
 		if last {
 			mode = os.O_RDWR
 		}
-		f, err := os.OpenFile(fl.path, mode, 0o644)
+		f, err := s.opts.FS.OpenFile(fl.path, mode, 0o644)
 		if err != nil {
 			s.closeAll()
 			return fmt.Errorf("flash: %w", err)
@@ -308,16 +321,24 @@ func (s *Store) closeAll() {
 	}
 }
 
-// rollLocked seals the active segment and opens a new one.
+// rollLocked seals the active segment — syncing it to stable storage, the
+// sync-on-seal durability point — and opens a new one. Rolling is lazy
+// (appendRecord rolls when the active segment is full, rather than the
+// append that filled it), so a failed seal or open leaves the store in a
+// consistent state and is simply retried by the next append.
 func (s *Store) rollLocked() error {
-	seq := s.nextSeq
-	s.nextSeq++
-	path := segPath(s.opts.Dir, seq)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if len(s.segs) > 0 {
+		if err := s.active().f.Sync(); err != nil {
+			return fmt.Errorf("flash: seal %s: %w", s.active().path, err)
+		}
+	}
+	path := segPath(s.opts.Dir, s.nextSeq)
+	f, err := s.opts.FS.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("flash: %w", err)
 	}
-	s.segs = append(s.segs, &segment{seq: seq, path: path, f: f})
+	s.nextSeq++
+	s.segs = append(s.segs, &segment{seq: s.nextSeq - 1, path: path, f: f})
 	return nil
 }
 
@@ -331,6 +352,18 @@ func (s *Store) appendRecord(key string, value []byte, expires int64, flags uint
 	}
 	if len(value) > MaxValueLen {
 		return rec{}, fmt.Errorf("flash: value too large (%d bytes)", len(value))
+	}
+	if s.closed {
+		return rec{}, ErrClosed
+	}
+	// Lazy roll: seal-and-roll before this append when the previous one
+	// filled the active segment, so a roll failure (seal sync or segment
+	// create) is retried here on every append until the disk recovers.
+	// len(segs) == 0 only after a Reset whose roll failed.
+	if len(s.segs) == 0 || s.active().size >= s.opts.SegmentBytes {
+		if err := s.rollLocked(); err != nil {
+			return rec{}, err
+		}
 	}
 	total := headerSize + len(key) + len(value)
 	buf := make([]byte, total)
@@ -358,11 +391,6 @@ func (s *Store) appendRecord(key string, value []byte, expires int64, flags uint
 	s.stats.BytesWritten += uint64(total)
 	if gc {
 		s.stats.GCBytes += uint64(total)
-	}
-	if seg.size >= s.opts.SegmentBytes {
-		if err := s.rollLocked(); err != nil {
-			return rec{}, err
-		}
 	}
 	return r, nil
 }
@@ -428,7 +456,7 @@ func (s *Store) reclaimLocked() error {
 			off += total
 		}
 		victim.f.Close()
-		if err := os.Remove(victim.path); err != nil {
+		if err := s.opts.FS.Remove(victim.path); err != nil {
 			return fmt.Errorf("flash: reclaim remove: %w", err)
 		}
 		s.stats.Reclaims++
@@ -511,20 +539,25 @@ func (s *Store) Contains(key string) bool {
 }
 
 // Delete removes key. A tombstone record is appended when the key was
-// present so the delete survives restart.
-func (s *Store) Delete(key string) error {
+// present so the delete survives restart. The boolean reports whether the
+// key was present (and disk I/O was therefore attempted): callers
+// tracking disk health must ignore the nil error of a no-op delete. Even
+// when the tombstone append fails the key is gone from the in-memory
+// index — only crash durability is at risk, which the caller's error
+// handling must cover.
+func (s *Store) Delete(key string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.index[key]; !ok {
-		return nil
+		return false, nil
 	}
 	s.dropIndex(key)
 	s.stats.Deletes++
 	_, err := s.appendRecord(key, nil, 0, flagTombstone, false)
 	if err != nil {
-		return err
+		return true, err
 	}
-	return s.reclaimLocked()
+	return true, s.reclaimLocked()
 }
 
 // Len returns the number of live records.
@@ -569,7 +602,42 @@ func (s *Store) Stats() Stats {
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.segs) == 0 {
+		// Only after a Reset whose roll failed: restore the invariant.
+		return s.rollLocked()
+	}
 	return s.active().f.Sync()
+}
+
+// Reset drops every record and segment file, returning the store to
+// empty with a fresh active segment. The tiered cache uses it as the
+// degraded-recovery fallback when too many keys were superseded during a
+// flash outage to tombstone individually: flash contents are a cache, so
+// wiping trades hit ratio for guaranteed consistency.
+func (s *Store) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closeAll()
+	var firstErr error
+	for _, seg := range s.segs {
+		if err := s.opts.FS.Remove(seg.path); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("flash: reset remove: %w", err)
+		}
+	}
+	s.segs = nil
+	s.index = make(map[string]rec)
+	s.diskUsed = 0
+	s.liveBytes = 0
+	if err := s.rollLocked(); err != nil {
+		return err
+	}
+	return firstErr
 }
 
 // Close syncs and closes every segment file. The store must not be used
@@ -577,7 +645,14 @@ func (s *Store) Sync() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err := s.active().f.Sync()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if len(s.segs) > 0 {
+		err = s.active().f.Sync()
+	}
 	s.closeAll()
 	s.segs = nil
 	return err

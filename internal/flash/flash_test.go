@@ -209,7 +209,7 @@ func TestDeleteTombstoneSurvivesRestart(t *testing.T) {
 	if err := s.Put("gone", []byte("b"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Delete("gone"); err != nil {
+	if _, err := s.Delete("gone"); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -311,14 +311,14 @@ func TestDeleteAbsentKeyWritesNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := s.Stats().BytesWritten
-	if err := s.Delete("absent"); err != nil {
+	if _, err := s.Delete("absent"); err != nil {
 		t.Fatal(err)
 	}
 	if s.Stats().BytesWritten != before {
 		t.Fatal("Delete of an absent key wrote a tombstone")
 	}
 	// Deleting a live key must write one (durability is the point).
-	if err := s.Delete("k"); err != nil {
+	if _, err := s.Delete("k"); err != nil {
 		t.Fatal(err)
 	}
 	if s.Stats().BytesWritten == before {
@@ -358,7 +358,7 @@ func TestConcurrentAccess(t *testing.T) {
 						return
 					}
 				case 1:
-					if err := s.Delete(key); err != nil {
+					if _, err := s.Delete(key); err != nil {
 						t.Error(err)
 						return
 					}

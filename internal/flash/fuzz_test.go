@@ -116,7 +116,7 @@ func FuzzRecoverSegment(f *testing.F) {
 		if v, _, ok := s.Get("fuzz-probe"); !ok || !bytes.Equal(v, probe) {
 			t.Fatalf("probe lost across restart: %q, %v", v, ok)
 		}
-		if err := s.Delete("fuzz-probe"); err != nil {
+		if _, err := s.Delete("fuzz-probe"); err != nil {
 			t.Fatalf("Delete: %v", err)
 		}
 		if s.Contains("fuzz-probe") {

@@ -29,6 +29,14 @@ func AdminHandler(s *Server, reg *telemetry.Registry) http.Handler {
 		json.NewEncoder(w).Encode(s.statsJSON())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// A degraded flash tier still serves from DRAM, so the probe stays
+		// 200 (restarting the process would not help and would drop the
+		// DRAM working set too); the body flags the degradation for
+		// humans and log scrapers.
+		if s.cache.FlashDegraded() {
+			w.Write([]byte("degraded: flash breaker open\n"))
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -51,18 +59,25 @@ func (s *Server) statsJSON() map[string]any {
 		"hit_ratio": st.HitRatio(), "entries": c.Len(),
 		"bytes": c.Used(), "capacity": c.Capacity(),
 		"dram_hits": st.DRAMHits, "flash_hits": st.FlashHits,
-		"flash_bytes_written": st.FlashBytesWritten,
-		"flash_gc_bytes":      st.FlashGCBytes,
-		"flash_segments":      st.FlashSegments,
-		"flash_entries":       st.FlashEntries,
-		"demotions":           st.Demotions,
-		"demotions_declined":  st.DemotionsDeclined,
-		"promotions":          st.Promotions,
-		"uptime_seconds":      int64(s.uptime().Seconds()),
-		"curr_connections":    s.connsCurrent(),
-		"total_connections":   s.connsTotal.Load(),
-		"cmd_get":             s.cmdGet.Load(),
-		"cmd_set":             s.cmdSet.Load(),
-		"cmd_delete":          s.cmdDelete.Load(),
+		"flash_bytes_written":    st.FlashBytesWritten,
+		"flash_gc_bytes":         st.FlashGCBytes,
+		"flash_segments":         st.FlashSegments,
+		"flash_entries":          st.FlashEntries,
+		"demotions":              st.Demotions,
+		"demotions_declined":     st.DemotionsDeclined,
+		"demotions_degraded":     st.DemotionsDegraded,
+		"promotions":             st.Promotions,
+		"flash_errors":           st.FlashErrors,
+		"flash_degraded":         boolStat(st.FlashDegraded),
+		"flash_breaker_trips":    st.FlashBreakerTrips,
+		"flash_breaker_restores": st.FlashBreakerRestores,
+		"uptime_seconds":         int64(s.uptime().Seconds()),
+		"curr_connections":       s.connsCurrent(),
+		"total_connections":      s.connsTotal.Load(),
+		"rejected_connections":   s.connsRejected.Load(),
+		"accept_retries":         s.acceptRetries.Load(),
+		"cmd_get":                s.cmdGet.Load(),
+		"cmd_set":                s.cmdSet.Load(),
+		"cmd_delete":             s.cmdDelete.Load(),
 	}
 }

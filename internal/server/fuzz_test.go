@@ -1,0 +1,55 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"s3fifo/cache"
+)
+
+// FuzzDispatch feeds arbitrary byte streams through the command loop the
+// way handle does — the parser must never panic, never over-allocate on a
+// lying length prefix, and fail truncated payloads by dropping the
+// connection, not wedging.
+func FuzzDispatch(f *testing.F) {
+	seeds := []string{
+		"get k\r\n",
+		"set k 5\r\nhello\r\n",
+		"set k 5 60\r\nhello\r\n",
+		"set k 999999999999999999999\r\n",
+		"set k -1\r\n",
+		"set k 10\r\nshort",
+		"set k 3 99999999999999999999\r\nabc\r\n",
+		"delete k\r\nstats\r\nquit\r\n",
+		"get\r\nget a b\r\n\r\n",
+		"get \x00\xff\x7f\r\n",
+		"bogus\r\nset\r\nset k\r\n",
+		"set k 2\r\nhi\nset k 2\r\nhi\r\n", // bare-\n terminator
+		"set k 0\r\n\r\nget k\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	c, err := cache.New(cache.Config{MaxBytes: 1 << 20})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := New(c)
+		r := bufio.NewReaderSize(bytes.NewReader(data), 16<<10)
+		w := bufio.NewWriterSize(io.Discard, 16<<10)
+		for {
+			line, err := readLine(r)
+			if err != nil {
+				return
+			}
+			quit, err := srv.dispatch(r, w, line)
+			if err != nil || quit {
+				return
+			}
+			w.Flush()
+		}
+	})
+}

@@ -1,0 +1,234 @@
+// Hardening tests: accept-loop resilience, the max-conns cap, and
+// per-connection deadlines.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"s3fifo/cache"
+)
+
+// flakyListener fails the first n Accepts with a transient error, then
+// delegates to the real listener.
+type flakyListener struct {
+	net.Listener
+	remaining atomic.Int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.remaining.Add(-1) >= 0 {
+		return nil, errors.New("accept: resource temporarily unavailable")
+	}
+	return l.Listener.Accept()
+}
+
+func TestServeRetriesTransientAcceptErrors(t *testing.T) {
+	c, err := cache.New(cache.Config{MaxBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(c)
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: inner}
+	fl.remaining.Store(3)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(fl) }()
+	t.Cleanup(func() { srv.Close(); <-done })
+
+	// The server must survive the failed Accepts and serve this client.
+	conn, err := net.DialTimeout("tcp", inner.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial after transient accept errors: %v", err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "set k 2\r\nhi\r\n")
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "STORED" {
+		t.Fatalf("roundtrip after accept errors: %q, %v", line, err)
+	}
+	if got := srv.acceptRetries.Load(); got != 3 {
+		t.Errorf("acceptRetries = %d, want 3", got)
+	}
+}
+
+func TestServeReturnsOnListenerClose(t *testing.T) {
+	c, _ := cache.New(cache.Config{MaxBytes: 1 << 16})
+	srv := New(c)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	// Closing the listener out from under Serve (not srv.Close) must
+	// still end the loop, not spin retrying net.ErrClosed.
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("Serve = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve kept retrying a closed listener")
+	}
+	srv.Close()
+}
+
+// roundtrip runs one set command on conn to prove the server fully
+// registered it.
+func roundtrip(t *testing.T, conn net.Conn, key string) {
+	t.Helper()
+	fmt.Fprintf(conn, "set %s 1\r\nx\r\n", key)
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || strings.TrimSpace(line) != "STORED" {
+		t.Fatalf("roundtrip on %s: %q, %v", key, line, err)
+	}
+}
+
+func TestMaxConnsCap(t *testing.T) {
+	c, err := cache.New(cache.Config{MaxBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(c, WithMaxConns(2))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	addr := l.Addr().String()
+
+	c1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	roundtrip(t, c1, "a")
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	roundtrip(t, c2, "b")
+
+	// Third connection: told off and closed.
+	c3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	c3.SetReadDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(c3)
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "ERROR too many connections") {
+		t.Fatalf("over-cap connection got %q, %v", line, err)
+	}
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("over-cap connection left open")
+	}
+	if got := srv.connsRejected.Load(); got != 1 {
+		t.Errorf("connsRejected = %d, want 1", got)
+	}
+
+	// Freeing a slot readmits new clients.
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.connsCurrent() >= 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c4, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c4.Close()
+	roundtrip(t, c4, "d")
+}
+
+func TestIdleConnTimeout(t *testing.T) {
+	c, err := cache.New(cache.Config{MaxBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(c, WithConnTimeout(50*time.Millisecond))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	roundtrip(t, conn, "live") // an active command resets the idle clock
+	// Then go silent: the server must hang up on us.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Fatal("idle connection not closed by server")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.connsCurrent() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := srv.connsCurrent(); n != 0 {
+		t.Errorf("connsCurrent = %d after idle timeout", n)
+	}
+}
+
+// TestMalformedInputNoGoroutineLeak hammers the server with garbage and
+// checks every per-connection goroutine winds down.
+func TestMalformedInputNoGoroutineLeak(t *testing.T) {
+	c, err := cache.New(cache.Config{MaxBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(c)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	baseline := runtime.NumGoroutine()
+
+	payloads := []string{
+		"set k 999999999\r\nshort",        // length far beyond the payload
+		"set k 5\r\nab",                   // truncated payload
+		"get \x00\xff\r\n",                // binary junk in the key
+		"\r\n\r\n\r\n",                    // empty commands
+		"set k 3 9999999999999999999\r\n", // ttl overflow
+		strings.Repeat("x", 64<<10),       // one huge unterminated line
+	}
+	for _, p := range payloads {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write([]byte(p))
+		conn.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.connsCurrent() == 0 && runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d, conns %d",
+		baseline, runtime.NumGoroutine(), srv.connsCurrent())
+}

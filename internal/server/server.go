@@ -36,17 +36,31 @@ const (
 	MaxValueLen = 8 << 20
 )
 
+// Accept-retry backoff bounds: a transient Accept error (EMFILE,
+// ECONNABORTED, ...) backs off from acceptBackoffMin, doubling to
+// acceptBackoffMax, instead of killing the accept loop.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
 // Server serves the cache protocol over TCP.
 type Server struct {
 	cache *cache.Cache
 	start time.Time
 
+	// Hardening knobs, fixed at construction (see Options).
+	maxConns    int
+	connTimeout time.Duration
+
 	// Protocol-level counters: total connections ever accepted and
 	// dispatched commands by verb (only well-formed commands count).
-	connsTotal atomic.Uint64
-	cmdGet     atomic.Uint64
-	cmdSet     atomic.Uint64
-	cmdDelete  atomic.Uint64
+	connsTotal    atomic.Uint64
+	connsRejected atomic.Uint64 // turned away at the max-conns cap
+	acceptRetries atomic.Uint64 // transient Accept errors retried
+	cmdGet        atomic.Uint64
+	cmdSet        atomic.Uint64
+	cmdDelete     atomic.Uint64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -54,9 +68,31 @@ type Server struct {
 	closed   bool
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithMaxConns caps live client connections; connections beyond the cap
+// are told "ERROR too many connections" and closed. n <= 0 means
+// unlimited (the default).
+func WithMaxConns(n int) Option {
+	return func(s *Server) { s.maxConns = n }
+}
+
+// WithConnTimeout bounds how long the server waits on a client: the
+// read deadline is re-armed before each command (so d is an idle
+// timeout) and the write deadline before each response flush. d <= 0
+// means no deadlines (the default).
+func WithConnTimeout(d time.Duration) Option {
+	return func(s *Server) { s.connTimeout = d }
+}
+
 // New returns a server around c.
-func New(c *cache.Cache) *Server {
-	return &Server{cache: c, conns: make(map[net.Conn]struct{}), start: time.Now()}
+func New(c *cache.Cache, opts ...Option) *Server {
+	s := &Server{cache: c, conns: make(map[net.Conn]struct{}), start: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // connsCurrent returns the number of live connections.
@@ -86,6 +122,12 @@ func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
 		nil, func() float64 { return float64(s.connsCurrent()) })
 	reg.CounterFunc("server_connections_total", "Client connections ever accepted.",
 		nil, func() uint64 { return s.connsTotal.Load() })
+	reg.CounterFunc("server_connections_rejected_total",
+		"Connections turned away at the max-conns cap.",
+		nil, func() uint64 { return s.connsRejected.Load() })
+	reg.CounterFunc("server_accept_retries_total",
+		"Transient Accept errors retried with backoff.",
+		nil, func() uint64 { return s.acceptRetries.Load() })
 	cmdHelp := "Dispatched protocol commands by verb."
 	reg.CounterFunc("server_commands_total", cmdHelp,
 		telemetry.Labels{{Key: "cmd", Value: "get"}}, s.cmdGet.Load)
@@ -98,8 +140,12 @@ func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
 // Cache returns the underlying cache (for stats inspection).
 func (s *Server) Cache() *cache.Cache { return s.cache }
 
-// Serve accepts connections on l until Close is called. It always returns
-// a non-nil error; after Close the error is net.ErrClosed.
+// Serve accepts connections on l until Close is called. Transient Accept
+// errors (EMFILE under fd pressure, ECONNABORTED, ...) are retried with
+// capped exponential backoff — a cache server must ride out fd
+// exhaustion, not exit into a restart loop that drops the whole working
+// set. Serve returns only once the listener is closed; it always returns
+// a non-nil error, net.ErrClosed after Close.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -108,22 +154,49 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 	s.listener = l
 	s.mu.Unlock()
+	backoff := acceptBackoffMin
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			return err
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return net.ErrClosed
+			}
+			s.acceptRetries.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		backoff = acceptBackoffMin
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return net.ErrClosed
 		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			s.connsRejected.Add(1)
+			// Best-effort courtesy line; the deadline keeps a zero-window
+			// peer from wedging the accept loop.
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			io.WriteString(conn, "ERROR too many connections\r\n")
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.connsTotal.Add(1)
 		go s.handle(conn)
 	}
+}
+
+// isClosed reports whether Close has been called.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // ListenAndServe listens on addr and serves.
@@ -165,6 +238,12 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 16<<10)
 	w := bufio.NewWriterSize(conn, 16<<10)
 	for {
+		// The read deadline is re-armed per command, making connTimeout an
+		// idle timeout; it also bounds each command's payload read, since
+		// the deadline is an absolute time covering the whole iteration.
+		if s.connTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.connTimeout))
+		}
 		line, err := readLine(r)
 		if err != nil {
 			return
@@ -172,6 +251,9 @@ func (s *Server) handle(conn net.Conn) {
 		quit, err := s.dispatch(r, w, line)
 		if err != nil || quit {
 			return
+		}
+		if s.connTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.connTimeout))
 		}
 		if err := w.Flush(); err != nil {
 			return
@@ -284,8 +366,15 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 		fmt.Fprintf(w, "STAT bytes %d\r\n", s.cache.Used())
 		fmt.Fprintf(w, "STAT capacity %d\r\n", s.cache.Capacity())
 		fmt.Fprintf(w, "STAT uptime_seconds %d\r\n", int64(s.uptime().Seconds()))
+		fmt.Fprintf(w, "STAT demotions_degraded %d\r\n", st.DemotionsDegraded)
+		fmt.Fprintf(w, "STAT flash_errors %d\r\n", st.FlashErrors)
+		fmt.Fprintf(w, "STAT flash_degraded %d\r\n", boolStat(st.FlashDegraded))
+		fmt.Fprintf(w, "STAT flash_breaker_trips %d\r\n", st.FlashBreakerTrips)
+		fmt.Fprintf(w, "STAT flash_breaker_restores %d\r\n", st.FlashBreakerRestores)
 		fmt.Fprintf(w, "STAT curr_connections %d\r\n", s.connsCurrent())
 		fmt.Fprintf(w, "STAT total_connections %d\r\n", s.connsTotal.Load())
+		fmt.Fprintf(w, "STAT rejected_connections %d\r\n", s.connsRejected.Load())
+		fmt.Fprintf(w, "STAT accept_retries %d\r\n", s.acceptRetries.Load())
 		fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.cmdGet.Load())
 		fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.cmdSet.Load())
 		fmt.Fprintf(w, "STAT cmd_delete %d\r\n", s.cmdDelete.Load())
@@ -298,6 +387,14 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 	default:
 		return false, protoErr(w, "unknown command "+fields[0])
 	}
+}
+
+// boolStat renders a boolean as a 0/1 STAT value.
+func boolStat(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // expectCRLF consumes the payload terminator (\r\n or \n).

@@ -202,12 +202,12 @@ func TestConcurrentUpdatesAndRender(t *testing.T) {
 
 func TestParseTextRejectsMalformed(t *testing.T) {
 	cases := []string{
-		"no_type_line 3",                                // sample without TYPE
-		"# TYPE x bogus\nx 1",                           // unknown type
-		"# TYPE x counter\nx{op=\"unterminated 3",       // unterminated label block
-		"# TYPE x counter\nx{op=\"get\"} notanumber",    // bad value
-		"# TYPE x counter\nx{op=\"get\"}",               // missing value
-		"# HELP x\n# TYPE x counter\nx 1",               // malformed HELP
+		"no_type_line 3",                             // sample without TYPE
+		"# TYPE x bogus\nx 1",                        // unknown type
+		"# TYPE x counter\nx{op=\"unterminated 3",    // unterminated label block
+		"# TYPE x counter\nx{op=\"get\"} notanumber", // bad value
+		"# TYPE x counter\nx{op=\"get\"}",            // missing value
+		"# HELP x\n# TYPE x counter\nx 1",            // malformed HELP
 	}
 	for _, in := range cases {
 		if _, err := ParseText(strings.NewReader(in)); err == nil {
