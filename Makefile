@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-flash tier1 bench bench-overhead throughput flashbench
+.PHONY: all build vet test test-race test-flash tier1 bench bench-allocs bench-overhead throughput flashbench
 
 all: tier1
 
@@ -35,6 +35,12 @@ tier1: build vet test test-race test-flash
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Allocation gates for the binary-protocol hot path: the server's GET
+# hit/miss dispatch and the frame codec must be 0 allocs/op
+# (testing.AllocsPerOp assertions; skipped under -race, which allocates).
+bench-allocs:
+	$(GO) test -run='^TestAllocGate' -v ./internal/proto ./internal/server
 
 # Telemetry-overhead gate: fails when a live metrics registry costs more
 # than 5% throughput vs the nil-registry fast path (DESIGN.md §9).

@@ -1,16 +1,28 @@
 // Package client is the Go client for the s3cached cache server
-// (cmd/s3cached, internal/server). It speaks the server's compact text
-// protocol over a single TCP connection; the client is safe for
-// concurrent use (requests are serialized on the connection, like a
+// (cmd/s3cached, internal/server). By default it speaks the server's
+// compact text protocol over a single TCP connection; the client is safe
+// for concurrent use (requests are serialized on the connection, like a
 // classic memcached text-protocol client).
+//
+// Two faster wire modes share the same API. Options.Binary switches the
+// connection to the length-prefixed binary protocol (internal/proto):
+// same request/response discipline, no text parsing on either end.
+// Options.Pipeline additionally enables pipelined mode: up to Pipeline
+// requests in flight on one connection, matched to responses by request
+// id, with writes from concurrent goroutines coalesced into shared
+// flushes. A pipelined client turns N goroutines hammering one
+// connection into one batched syscall stream in each direction — drive
+// it concurrently; a single synchronous caller gains only the binary
+// framing.
 //
 // The client is hardened for flaky networks: dial and per-operation
 // timeouts, plus bounded retry with jittered exponential backoff
 // (Options.Retries). An I/O failure mid-operation drops the connection
-// and redials before the next attempt — the protocol has no framing to
-// resynchronize a half-read response. Server-reported protocol errors
-// (*ServerError) are never retried: the server got the request and
-// rejected it, so retrying cannot change the answer.
+// and redials before the next attempt — in pipelined mode every
+// operation in flight on the failed connection is failed (and retried by
+// its own caller, up to Options.Retries). Server-reported protocol
+// errors (*ServerError) are never retried: the server got the request
+// and rejected it, so retrying cannot change the answer.
 package client
 
 import (
@@ -24,6 +36,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"s3fifo/internal/proto"
 )
 
 // Defaults for Options zero values.
@@ -51,6 +65,15 @@ type Options struct {
 	// per attempt (capped at 1s) with up to 50% random jitter so a fleet
 	// of clients doesn't retry in lockstep. 0 means 10ms.
 	RetryBackoff time.Duration
+	// Binary selects the length-prefixed binary protocol (internal/proto)
+	// instead of the text protocol. The server auto-detects it on the
+	// first byte.
+	Binary bool
+	// Pipeline, when positive, enables pipelined mode over the binary
+	// protocol (implying Binary): up to Pipeline requests in flight on
+	// the connection, matched by request id. Operations from concurrent
+	// goroutines share the connection instead of serializing on it.
+	Pipeline int
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +85,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Retries < 0 {
 		o.Retries = 0
+	}
+	if o.Pipeline < 0 {
+		o.Pipeline = 0
+	}
+	if o.Pipeline > 0 {
+		o.Binary = true
 	}
 	return o
 }
@@ -81,11 +110,15 @@ type Client struct {
 	addr string
 	opts Options
 
+	pipe *pipe // non-nil in pipelined mode; owns the connection instead
+
 	mu     sync.Mutex
 	conn   net.Conn
 	r      *bufio.Reader
 	w      *bufio.Writer
 	closed bool
+
+	hdr [proto.HeaderLen]byte // response-header scratch (binary sync mode)
 }
 
 // Dial connects to an s3cached server at addr ("host:port") with default
@@ -98,6 +131,13 @@ func Dial(addr string) (*Client, error) {
 // network options.
 func DialOptions(addr string, opts Options) (*Client, error) {
 	c := &Client{addr: addr, opts: opts.withDefaults()}
+	if c.opts.Pipeline > 0 {
+		c.pipe = newPipe(c)
+		if err := c.pipe.dial(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.redialLocked(); err != nil {
@@ -185,6 +225,9 @@ func (c *Client) do(op func() error) error {
 // Close terminates the connection. Further operations return
 // net.ErrClosed.
 func (c *Client) Close() error {
+	if c.pipe != nil {
+		return c.pipe.close()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -194,8 +237,12 @@ func (c *Client) Close() error {
 	if c.conn == nil {
 		return nil
 	}
-	fmt.Fprintf(c.w, "quit\r\n")
-	c.w.Flush()
+	if !c.opts.Binary {
+		// Only the text protocol has a parting command; a binary
+		// connection just closes.
+		fmt.Fprintf(c.w, "quit\r\n")
+		c.w.Flush()
+	}
 	err := c.conn.Close()
 	c.conn = nil
 	return err
@@ -214,8 +261,78 @@ func errFor(line string) error {
 	return &ServerError{Reason: strings.TrimPrefix(line, "ERROR ")}
 }
 
+// binRoundTrip writes one binary request and reads its response on the
+// synchronous (non-pipelined) connection. Callers hold c.mu via do().
+// An error-status response is returned as a *ServerError; everything
+// else surfaces as (status, value).
+func (c *Client) binRoundTrip(op proto.Op, key string, value []byte, ttl uint32) (proto.Status, []byte, error) {
+	buf := proto.GetBuf()
+	*buf = proto.AppendRequest(*buf, op, ttl, 0, key, value)
+	_, err := c.w.Write(*buf)
+	proto.PutBuf(buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	if _, err := io.ReadFull(c.r, c.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	h, err := proto.ParseResponseHeader(c.hdr[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	var resp []byte
+	if h.ValueLen > 0 {
+		resp = make([]byte, h.ValueLen)
+		if _, err := io.ReadFull(c.r, resp); err != nil {
+			return 0, nil, err
+		}
+	}
+	if h.Status == proto.StatusErr {
+		return 0, nil, &ServerError{Reason: string(resp)}
+	}
+	return h.Status, resp, nil
+}
+
+// checkKey rejects keys the binary framing cannot carry before anything
+// hits the wire. The error is a *ServerError (the server would refuse
+// the request), so the retry loop does not waste attempts on it.
+func checkKey(key string) error {
+	if len(key) > proto.MaxKeyLen {
+		return &ServerError{Reason: "key too long"}
+	}
+	if len(key) == 0 {
+		return &ServerError{Reason: "empty key"}
+	}
+	return nil
+}
+
 // Get fetches key. The second result is false on a cache miss.
 func (c *Client) Get(key string) ([]byte, bool, error) {
+	if c.pipe != nil {
+		return c.pipe.Get(key)
+	}
+	if c.opts.Binary {
+		if err := checkKey(key); err != nil {
+			return nil, false, err
+		}
+		var value []byte
+		var ok bool
+		err := c.do(func() error {
+			st, v, err := c.binRoundTrip(proto.OpGet, key, nil, 0)
+			if err != nil {
+				return err
+			}
+			value, ok = v, st == proto.StatusOK
+			return nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return value, ok, nil
+	}
 	var value []byte
 	var ok bool
 	err := c.do(func() error {
@@ -286,7 +403,40 @@ func (c *Client) SetWithTTL(key string, value []byte, ttl time.Duration) (bool, 
 	return c.set(key, value, ttl)
 }
 
+// ttlSeconds rounds a TTL up to whole seconds for the wire.
+func ttlSeconds(ttl time.Duration) uint32 {
+	if ttl <= 0 {
+		return 0
+	}
+	secs := (ttl + time.Second - 1) / time.Second
+	if secs > 1<<32-1 {
+		return 1<<32 - 1
+	}
+	return uint32(secs)
+}
+
 func (c *Client) set(key string, value []byte, ttl time.Duration) (bool, error) {
+	if c.pipe != nil {
+		return c.pipe.Set(key, value, ttl)
+	}
+	if c.opts.Binary {
+		if err := checkKey(key); err != nil {
+			return false, err
+		}
+		if len(value) > proto.MaxValueLen {
+			return false, &ServerError{Reason: "value too large"}
+		}
+		var stored bool
+		err := c.do(func() error {
+			st, _, err := c.binRoundTrip(proto.OpSet, key, value, ttlSeconds(ttl))
+			if err != nil {
+				return err
+			}
+			stored = st == proto.StatusOK
+			return nil
+		})
+		return stored, err
+	}
 	var stored bool
 	err := c.do(func() error {
 		if ttl > 0 {
@@ -325,6 +475,24 @@ func (c *Client) set(key string, value []byte, ttl time.Duration) (bool, error) 
 
 // Delete removes key. The result reports whether the key existed.
 func (c *Client) Delete(key string) (bool, error) {
+	if c.pipe != nil {
+		return c.pipe.Delete(key)
+	}
+	if c.opts.Binary {
+		if err := checkKey(key); err != nil {
+			return false, err
+		}
+		var existed bool
+		err := c.do(func() error {
+			st, _, err := c.binRoundTrip(proto.OpDelete, key, nil, 0)
+			if err != nil {
+				return err
+			}
+			existed = st == proto.StatusOK
+			return nil
+		})
+		return existed, err
+	}
 	var existed bool
 	err := c.do(func() error {
 		fmt.Fprintf(c.w, "delete %s\r\n", key)
@@ -464,8 +632,64 @@ func (c *Client) Stats() (map[string]uint64, error) {
 	return out, nil
 }
 
+// parseStatPayload parses "STAT <name> <value>" lines (the binary stats
+// payload) into a map.
+func parseStatPayload(payload []byte) (map[string]string, error) {
+	out := map[string]string{}
+	for _, line := range strings.Split(string(payload), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "STAT" {
+			return nil, fmt.Errorf("client: malformed stat line %q", line)
+		}
+		out[fields[1]] = fields[2]
+	}
+	return out, nil
+}
+
+// Ping round-trips a no-op through the server — a liveness and latency
+// probe. It requires the binary protocol (Options.Binary or Pipeline).
+func (c *Client) Ping() error {
+	if c.pipe != nil {
+		_, _, err := c.pipe.roundTrip(proto.OpPing, "", nil, 0)
+		return err
+	}
+	if !c.opts.Binary {
+		return errors.New("client: Ping requires the binary protocol")
+	}
+	return c.do(func() error {
+		_, _, err := c.binRoundTrip(proto.OpPing, "", nil, 0)
+		return err
+	})
+}
+
 // StatsRaw fetches every STAT line verbatim as a name -> value map.
 func (c *Client) StatsRaw() (map[string]string, error) {
+	if c.pipe != nil {
+		_, payload, err := c.pipe.roundTrip(proto.OpStats, "", nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		return parseStatPayload(payload)
+	}
+	if c.opts.Binary {
+		var out map[string]string
+		err := c.do(func() error {
+			_, payload, err := c.binRoundTrip(proto.OpStats, "", nil, 0)
+			if err != nil {
+				return err
+			}
+			out, err = parseStatPayload(payload)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	var out map[string]string
 	err := c.do(func() error {
 		fmt.Fprintf(c.w, "stats\r\n")

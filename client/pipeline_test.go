@@ -1,0 +1,156 @@
+// Pipelined-mode hardening tests against a scriptable binary stub
+// server, mirroring retry_test.go for the text path.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"s3fifo/internal/proto"
+)
+
+// serveBinary answers every request with status st (echoing ids), so
+// tests can provoke specific client-side paths.
+func serveBinary(st proto.Status, msg []byte) func(conn net.Conn, nth int64) {
+	return func(conn net.Conn, _ int64) {
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		hdr := make([]byte, proto.HeaderLen)
+		for {
+			if _, err := io.ReadFull(r, hdr); err != nil {
+				return
+			}
+			h, err := proto.ParseRequestHeader(hdr)
+			if err != nil {
+				return
+			}
+			if _, err := r.Discard(h.KeyLen + int(h.ValueLen)); err != nil {
+				return
+			}
+			resp := proto.AppendResponse(nil, st, h.ID, msg)
+			if _, err := conn.Write(resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func TestPipelinedServerErrorNotRetried(t *testing.T) {
+	srv := newStubServer(t, serveBinary(proto.StatusErr, []byte("synthetic failure")))
+	c, err := DialOptions(srv.addr(), Options{
+		Pipeline:     4,
+		Retries:      5,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.Get("k")
+	var se *ServerError
+	if !errors.As(err, &se) || se.Reason != "synthetic failure" {
+		t.Fatalf("err = %v, want ServerError(synthetic failure)", err)
+	}
+	if got := srv.conns.Load(); got != 1 {
+		t.Errorf("server saw %d connections; server errors must not redial", got)
+	}
+}
+
+func TestPipelinedRetriesAfterDroppedConn(t *testing.T) {
+	srv := newStubServer(t, func(conn net.Conn, nth int64) {
+		if nth <= 2 {
+			buf := make([]byte, 256)
+			conn.Read(buf)
+			conn.Close()
+			return
+		}
+		serveBinary(proto.StatusMiss, nil)(conn, nth)
+	})
+	c, err := DialOptions(srv.addr(), Options{
+		Pipeline:     4,
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok, err := c.Get("k"); err != nil || ok {
+		t.Fatalf("Get through flaky server = %v, %v; want miss, nil", ok, err)
+	}
+	if got := srv.conns.Load(); got != 3 {
+		t.Errorf("server saw %d connections, want 3 (1 dial + 2 redials)", got)
+	}
+}
+
+func TestPipelinedOpsAfterCloseFail(t *testing.T) {
+	srv := newStubServer(t, serveBinary(proto.StatusMiss, nil))
+	c, err := DialOptions(srv.addr(), Options{Pipeline: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("k"); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Get after Close = %v, want net.ErrClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestPipelinedOpTimeoutFailsConnection(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv := newStubServer(t, func(conn net.Conn, _ int64) {
+		defer conn.Close()
+		<-block // swallow requests, answer nothing
+	})
+	c, err := DialOptions(srv.addr(), Options{
+		Pipeline:  4,
+		OpTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, _, err := c.Get("k"); err == nil {
+		t.Fatal("Get returned against a silent server")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout took %v; OpTimeout not applied to pipelined ops", elapsed)
+	}
+}
+
+func TestPipelineImpliesBinary(t *testing.T) {
+	opts := Options{Pipeline: 8}.withDefaults()
+	if !opts.Binary {
+		t.Fatal("Pipeline > 0 must imply the binary protocol")
+	}
+}
+
+func TestPipelinedRejectsOversizeKeyLocally(t *testing.T) {
+	srv := newStubServer(t, serveBinary(proto.StatusOK, nil))
+	c, err := DialOptions(srv.addr(), Options{Pipeline: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	long := make([]byte, proto.MaxKeyLen+1)
+	for i := range long {
+		long[i] = 'k'
+	}
+	var se *ServerError
+	if _, _, err := c.Get(string(long)); !errors.As(err, &se) {
+		t.Fatalf("oversize key Get = %v, want ServerError", err)
+	}
+	if _, err := c.Set("", []byte("v")); !errors.As(err, &se) {
+		t.Fatalf("empty key Set = %v, want ServerError", err)
+	}
+}

@@ -23,8 +23,14 @@
 // switches per-op latency from 1-in-64 sampling to timing every call.
 // The deprecated -http flag is an alias for -admin-addr.
 //
-// The wire protocol is documented in internal/server; the Go client
-// lives in s3fifo/client. Example session (via nc):
+// The server speaks two wire protocols on the same port, detected
+// per connection from the first byte: the newline-framed text protocol
+// (with a memcached-compatible dialect) and a length-prefixed binary
+// protocol built for client-side pipelining (DESIGN.md §11). -proto
+// pins the accepted protocol to "text" or "binary"; the default "auto"
+// takes both. The Go client lives in s3fifo/client; pass
+// client.Options{Pipeline: n} for the pipelined binary mode. Example
+// text session (via nc):
 //
 //	set greeting 5
 //	hello
@@ -69,6 +75,8 @@ func main() {
 		"consecutive flash I/O errors before degrading to DRAM-only serving (0 disables the breaker)")
 	maxConns := flag.Int("max-conns", 0, "max simultaneous client connections (0 = unlimited)")
 	connTimeout := flag.Duration("conn-timeout", 0, "per-connection idle/write deadline (0 disables)")
+	protoMode := flag.String("proto", "auto",
+		"wire protocols to accept: auto (per-connection detection), text, binary")
 	slowOp := flag.Duration("slow-op", 0, "log cache operations at or above this duration (0 disables; times every op)")
 	flag.Parse()
 	// Flag semantics: 0 disables. Config semantics: 0 means default,
@@ -111,7 +119,8 @@ func main() {
 	}
 	srv := server.New(c,
 		server.WithMaxConns(*maxConns),
-		server.WithConnTimeout(*connTimeout))
+		server.WithConnTimeout(*connTimeout),
+		server.WithProtocol(*protoMode))
 	if *adminAddr != "" {
 		srv.RegisterMetrics(reg)
 		handler := server.AdminHandler(srv, reg)

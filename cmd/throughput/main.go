@@ -25,6 +25,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"s3fifo/cache"
 	"s3fifo/internal/concurrent"
@@ -45,10 +46,11 @@ type benchRow struct {
 	P999Ns    int64   `json:"p999_ns"`
 }
 
-// engineRow is one (engine, connections) end-to-end measurement through
-// the TCP server.
+// engineRow is one (engine, protocol, connections) end-to-end
+// measurement through the TCP server.
 type engineRow struct {
 	Engine   string  `json:"engine"`
+	Proto    string  `json:"proto"`
 	Conns    int     `json:"conns"`
 	Kops     float64 `json:"kops"`
 	HitRatio float64 `json:"hit_ratio"`
@@ -58,12 +60,35 @@ type engineRow struct {
 }
 
 // engineSweep is the "engines" section of BENCH_concurrent.json: the
-// serving-stack comparison (policy vs concurrent engine over TCP).
+// serving-stack comparison (policy vs concurrent engine over TCP,
+// text vs binary vs pipelined-binary protocol).
 type engineSweep struct {
-	Objects int         `json:"objects"`
-	Ops     int         `json:"ops"`
-	Note    string      `json:"note"`
-	Rows    []engineRow `json:"rows"`
+	Objects       int         `json:"objects"`
+	Ops           int         `json:"ops"`
+	PipelineDepth int         `json:"pipeline_depth"`
+	Note          string      `json:"note"`
+	Rows          []engineRow `json:"rows"`
+}
+
+// openLoopRow is one (protocol, offered rate) latency-under-load point.
+type openLoopRow struct {
+	Proto    string  `json:"proto"`
+	Rate     int     `json:"rate"`
+	Achieved float64 `json:"achieved"`
+	P50Ns    int64   `json:"p50_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+}
+
+// openLoopSection is the "openloop" section of BENCH_concurrent.json:
+// fixed-arrival-rate latency curves, measured from scheduled arrival
+// time so queueing under overload is visible (no coordinated omission).
+type openLoopSection struct {
+	Objects       int           `json:"objects"`
+	Conns         int           `json:"conns"`
+	PipelineDepth int           `json:"pipeline_depth"`
+	DurationSecs  float64       `json:"duration_secs"`
+	Note          string        `json:"note"`
+	Rows          []openLoopRow `json:"rows"`
 }
 
 // telemetrySection is the "telemetry" section of BENCH_concurrent.json:
@@ -86,6 +111,7 @@ type benchFile struct {
 	Note         string            `json:"note"`
 	Rows         []benchRow        `json:"rows"`
 	Engines      *engineSweep      `json:"engines,omitempty"`
+	OpenLoop     *openLoopSection  `json:"openloop,omitempty"`
 	Telemetry    *telemetrySection `json:"telemetry,omitempty"`
 }
 
@@ -116,6 +142,12 @@ func main() {
 	serverConns := flag.String("server-conns", "1,2,4", "client-connection counts for the server sweep")
 	serverObjects := flag.Int("server-objects", 20_000, "distinct objects in the server-sweep workload")
 	serverOps := flag.Int("server-ops", 200_000, "total operations per server-sweep measurement")
+	protosFlag := flag.String("protos", "text,binary,pipelined",
+		"protocol modes for the server sweep: text, binary, pipelined")
+	pipelineDepth := flag.Int("pipeline-depth", 32, "in-flight window per connection in pipelined mode")
+	openLoop := flag.Bool("openloop", true, "measure latency under fixed offered load per protocol")
+	openLoopRates := flag.String("openloop-rates", "5000,20000,50000", "offered loads (req/s) for the open-loop curves")
+	openLoopSecs := flag.Float64("openloop-secs", 3, "seconds per open-loop point")
 	overhead := flag.Bool("overhead", true, "measure telemetry overhead (live registry vs nil) through the cache facade")
 	overheadOnly := flag.Bool("overhead-only", false, "run only the telemetry-overhead measurement")
 	overheadOps := flag.Int("overhead-ops", 1_000_000, "operations per telemetry-overhead run")
@@ -171,31 +203,69 @@ func main() {
 		for i := range engines {
 			engines[i] = strings.TrimSpace(engines[i])
 		}
+		protos := strings.Split(*protosFlag, ",")
+		for i := range protos {
+			protos[i] = strings.TrimSpace(protos[i])
+		}
 		fmt.Println("==== engines end-to-end (TCP server, closed loop) ====")
 		rows, err := harness.ServerSweep(harness.ServerSweepConfig{
 			Objects: *serverObjects, Ops: *serverOps,
 			Conns: parseInts("server-conns", *serverConns), Engines: engines,
+			Protos: protos, PipelineDepth: *pipelineDepth,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "throughput:", err)
 			os.Exit(1)
 		}
 		sweep := &engineSweep{
-			Objects: *serverObjects, Ops: *serverOps,
-			Note: "get-or-set Zipf α=1.0 through the text protocol on loopback; " +
-				"capacity objects/10; round-trip latency sampled 1-in-16",
+			Objects: *serverObjects, Ops: *serverOps, PipelineDepth: *pipelineDepth,
+			Note: "get-or-set Zipf α=1.0 over loopback; capacity objects/10; " +
+				"round-trip latency sampled 1-in-16; pipelined rows drive " +
+				"pipeline_depth workers per connection",
 		}
-		fmt.Println("engine       conns   Kops/s   hit-ratio      p50      p99     p999")
+		fmt.Println("engine       proto      conns   Kops/s   hit-ratio      p50      p99     p999")
 		for _, r := range rows {
-			fmt.Printf("%-12s %5d  %7.1f  %.4f  %9v %8v %8v\n",
-				r.Engine, r.Conns, r.Kops(), r.HitRatio(), r.P50(), r.P99(), r.P999())
+			fmt.Printf("%-12s %-10s %5d  %7.1f  %.4f  %9v %8v %8v\n",
+				r.Engine, r.Proto, r.Conns, r.Kops(), r.HitRatio(), r.P50(), r.P99(), r.P999())
 			sweep.Rows = append(sweep.Rows, engineRow{
-				Engine: r.Engine, Conns: r.Conns, Kops: r.Kops(), HitRatio: r.HitRatio(),
-				P50Ns: r.P50().Nanoseconds(), P99Ns: r.P99().Nanoseconds(),
+				Engine: r.Engine, Proto: r.Proto, Conns: r.Conns, Kops: r.Kops(),
+				HitRatio: r.HitRatio(),
+				P50Ns:    r.P50().Nanoseconds(), P99Ns: r.P99().Nanoseconds(),
 				P999Ns: r.P999().Nanoseconds(),
 			})
 		}
 		out.Engines = sweep
+		fmt.Println()
+	}
+	if *openLoop && !*overheadOnly {
+		fmt.Println("==== latency under offered load (open loop, concurrent engine) ====")
+		rows, err := harness.OpenLoop(harness.OpenLoopConfig{
+			Objects:       *serverObjects,
+			Rates:         parseInts("openloop-rates", *openLoopRates),
+			Duration:      time.Duration(*openLoopSecs * float64(time.Second)),
+			PipelineDepth: *pipelineDepth,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		section := &openLoopSection{
+			Objects: *serverObjects, Conns: 4, PipelineDepth: *pipelineDepth,
+			DurationSecs: *openLoopSecs,
+			Note: "fixed arrival schedule; latency measured from scheduled arrival " +
+				"(coordinated-omission-free), so overload shows as p99 blowup and " +
+				"achieved < offered",
+		}
+		fmt.Println("proto       offered   achieved       p50       p99")
+		for _, r := range rows {
+			fmt.Printf("%-10s %8d  %9.0f  %8v  %8v\n",
+				r.Proto, r.Rate, r.Achieved(), r.P50(), r.P99())
+			section.Rows = append(section.Rows, openLoopRow{
+				Proto: r.Proto, Rate: r.Rate, Achieved: r.Achieved(),
+				P50Ns: r.P50().Nanoseconds(), P99Ns: r.P99().Nanoseconds(),
+			})
+		}
+		out.OpenLoop = section
 		fmt.Println()
 	}
 	if *overhead {

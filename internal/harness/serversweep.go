@@ -15,9 +15,10 @@ import (
 // ServerSweepConfig parameterizes the end-to-end engine comparison: one
 // in-process s3cached server per engine, driven closed-loop over real TCP
 // connections. Unlike Fig8, which measures the bare cache structures,
-// this sweep includes the full serving stack (text protocol, per-request
+// this sweep includes the full serving stack (wire protocol, per-request
 // syscalls, the cache facade), so it answers "does the engine choice
-// matter once a network is in front of it?".
+// matter once a network is in front of it?" — and, per protocol, "how
+// much of the text protocol's cost does the binary framing recover?".
 type ServerSweepConfig struct {
 	// Objects is the number of distinct keys (default 20_000).
 	Objects int
@@ -30,6 +31,15 @@ type ServerSweepConfig struct {
 	Engines []string
 	// ValueBytes is the payload size (default 64).
 	ValueBytes int
+	// Protos is the wire protocols to sweep: "text" (one in-flight
+	// request per conn, newline framing), "binary" (one in-flight
+	// request per conn, length-prefixed framing), and "pipelined"
+	// (binary framing, PipelineDepth concurrent requests per conn).
+	// Default all three.
+	Protos []string
+	// PipelineDepth is the in-flight window per connection in
+	// "pipelined" mode (default 32).
+	PipelineDepth int
 }
 
 func (c ServerSweepConfig) withDefaults() ServerSweepConfig {
@@ -48,17 +58,26 @@ func (c ServerSweepConfig) withDefaults() ServerSweepConfig {
 	if c.ValueBytes <= 0 {
 		c.ValueBytes = 64
 	}
+	if len(c.Protos) == 0 {
+		c.Protos = []string{"text", "binary", "pipelined"}
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 32
+	}
 	return c
 }
 
-// ServerSweepRow is one (engine, connections) measurement.
+// ServerSweepRow is one (engine, protocol, connections) measurement.
 type ServerSweepRow struct {
 	Engine  string
+	Proto   string
 	Conns   int
 	Ops     uint64
 	Hits    uint64
 	Elapsed time.Duration
 	// Latency holds sampled per-request round-trip latencies (1 in 16).
+	// In pipelined mode this measures in-window round trips: the time a
+	// request waits behind the other in-flight requests is included.
 	Latency telemetry.Histogram
 }
 
@@ -90,9 +109,9 @@ func (r ServerSweepRow) P99() time.Duration { return r.Latency.Quantile(0.99) }
 func (r ServerSweepRow) P999() time.Duration { return r.Latency.Quantile(0.999) }
 
 // ServerSweep measures closed-loop get-or-set throughput through the TCP
-// server for every engine: each connection replays its share of a shared
-// Zipf α=1.0 trace, Get first, Set on miss. The cache holds a tenth of
-// the key space, the Fig8 "large cache" regime.
+// server for every engine and protocol: each worker replays its share of
+// a shared Zipf α=1.0 trace, Get first, Set on miss. The cache holds a
+// tenth of the key space, the Fig8 "large cache" regime.
 func ServerSweep(cfg ServerSweepConfig) ([]ServerSweepRow, error) {
 	cfg = cfg.withDefaults()
 	w := concurrent.NewZipfWorkload(cfg.Objects, cfg.Ops, 1.0, cfg.ValueBytes, 42)
@@ -101,18 +120,35 @@ func ServerSweep(cfg ServerSweepConfig) ([]ServerSweepRow, error) {
 	capacity := uint64(cfg.Objects/10) * uint64(entryBytes)
 	var out []ServerSweepRow
 	for _, engine := range cfg.Engines {
-		for _, conns := range cfg.Conns {
-			row, err := serverSweepOne(engine, conns, capacity, w)
-			if err != nil {
-				return nil, fmt.Errorf("harness: engine %s, %d conns: %w", engine, conns, err)
+		for _, proto := range cfg.Protos {
+			for _, conns := range cfg.Conns {
+				row, err := serverSweepOne(engine, proto, conns, cfg.PipelineDepth, capacity, w)
+				if err != nil {
+					return nil, fmt.Errorf("harness: engine %s, proto %s, %d conns: %w",
+						engine, proto, conns, err)
+				}
+				out = append(out, row)
 			}
-			out = append(out, row)
 		}
 	}
 	return out, nil
 }
 
-func serverSweepOne(engine string, conns int, capacity uint64, w *concurrent.Workload) (ServerSweepRow, error) {
+// sweepDial opens one connection in the sweep's protocol mode.
+func sweepDial(addr, proto string, depth int) (*client.Client, error) {
+	switch proto {
+	case "text":
+		return client.Dial(addr)
+	case "binary":
+		return client.DialOptions(addr, client.Options{Binary: true})
+	case "pipelined":
+		return client.DialOptions(addr, client.Options{Pipeline: depth})
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (want text, binary, or pipelined)", proto)
+	}
+}
+
+func serverSweepOne(engine, proto string, conns, depth int, capacity uint64, w *concurrent.Workload) (ServerSweepRow, error) {
 	c, err := cache.New(cache.Config{MaxBytes: capacity, Engine: engine})
 	if err != nil {
 		return ServerSweepRow{}, err
@@ -128,7 +164,7 @@ func serverSweepOne(engine string, conns int, capacity uint64, w *concurrent.Wor
 
 	clients := make([]*client.Client, conns)
 	for i := range clients {
-		cl, err := client.Dial(addr)
+		cl, err := sweepDial(addr, proto, depth)
 		if err != nil {
 			return ServerSweepRow{}, err
 		}
@@ -149,15 +185,24 @@ func serverSweepOne(engine string, conns int, capacity uint64, w *concurrent.Wor
 		}
 	}
 
+	// A pipelined connection only benefits from its window when several
+	// requests are outstanding, so it gets depth workers; the serial
+	// protocols get one worker per connection.
+	workersPerConn := 1
+	if proto == "pipelined" {
+		workersPerConn = depth
+	}
+	workers := conns * workersPerConn
+
 	type connResult struct {
 		hits uint64
 		lat  telemetry.Histogram
 		err  error
 	}
-	results := make(chan connResult, conns)
-	per := len(w.Keys) / conns
+	results := make(chan connResult, workers)
+	per := len(w.Keys) / workers
 	start := time.Now()
-	for i := 0; i < conns; i++ {
+	for i := 0; i < workers; i++ {
 		keys := w.Keys[i*per : (i+1)*per]
 		go func(cl *client.Client, keys []uint64) {
 			var res connResult
@@ -184,10 +229,10 @@ func serverSweepOne(engine string, conns int, capacity uint64, w *concurrent.Wor
 				}
 			}
 			results <- res
-		}(clients[i], keys)
+		}(clients[i/workersPerConn], keys)
 	}
-	row := ServerSweepRow{Engine: engine, Conns: conns, Ops: uint64(per * conns)}
-	for i := 0; i < conns; i++ {
+	row := ServerSweepRow{Engine: engine, Proto: proto, Conns: conns, Ops: uint64(per * workers)}
+	for i := 0; i < workers; i++ {
 		res := <-results
 		if res.err != nil {
 			return ServerSweepRow{}, res.err

@@ -1,0 +1,36 @@
+package proto
+
+import "testing"
+
+// BenchmarkProtoEncodeDecode round-trips a SET frame through the codec
+// into a reused buffer: the codec itself must never touch the heap.
+func BenchmarkProtoEncodeDecode(b *testing.B) {
+	value := make([]byte, 100)
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRequest(buf[:0], OpSet, 60, uint32(i), "bench-key", value)
+		h, err := ParseRequestHeader(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.KeyLen != 9 || int(h.ValueLen) != len(value) {
+			b.Fatal("round trip mismatch")
+		}
+	}
+}
+
+// TestAllocGateProtoCodec gates the codec at zero allocations per
+// encode+decode with a reused buffer.
+func TestAllocGateProtoCodec(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if allocs := testing.Benchmark(BenchmarkProtoEncodeDecode).AllocsPerOp(); allocs != 0 {
+		t.Fatalf("proto codec allocates %d times per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,97 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFrame attacks the codec from both sides. Forward: build a request
+// and a response from fuzz-chosen fields, encode, decode, and require an
+// exact round trip. Backward: treat the raw input as a wire frame — the
+// parsers must never panic, must reject anything whose lengths could
+// make a reader over-allocate, and must re-encode anything they accept
+// back to the same bytes (truncated headers, oversize lengths, and bad
+// opcodes all land in the reject bucket).
+func FuzzFrame(f *testing.F) {
+	f.Add(byte(OpGet), uint32(0), uint32(1), []byte("key"), []byte(nil))
+	f.Add(byte(OpSet), uint32(60), uint32(7), []byte("key"), []byte("value"))
+	f.Add(byte(OpDelete), uint32(0), uint32(0xffffffff), []byte("k"), []byte(nil))
+	f.Add(byte(OpStats), uint32(0), uint32(0), []byte(nil), []byte(nil))
+	f.Add(byte(OpPing), uint32(9), uint32(3), []byte(nil), []byte(nil))
+	// Adversarial raw-frame seeds, smuggled through the same tuple: the
+	// key bytes double as the raw input in the backward direction.
+	f.Add(byte(0), uint32(0), uint32(0), []byte("\x80\x01\xff\xff\x00\x00\x00\x00\xff\xff\xff\xff\x00\x00\x00\x01"), []byte(nil))
+	f.Add(byte(99), uint32(0), uint32(0), bytes.Repeat([]byte{0x80}, HeaderLen), []byte(nil))
+	f.Add(byte(0), uint32(0), uint32(0), []byte("get key\r\n"), []byte(nil))
+
+	f.Fuzz(func(t *testing.T, op byte, ttl, id uint32, key, value []byte) {
+		// Forward: clamp the fuzz inputs into a valid request and demand a
+		// lossless round trip.
+		if len(key) > MaxKeyLen {
+			key = key[:MaxKeyLen]
+		}
+		if len(value) > 1<<16 { // keep the corpus small; MaxValueLen is covered below
+			value = value[:1<<16]
+		}
+		fop := Op(1 + op%5)
+		fkey, fvalue := key, value
+		switch fop {
+		case OpGet, OpDelete:
+			if len(fkey) == 0 {
+				fkey = []byte("k")
+			}
+			fvalue = nil
+		case OpSet:
+			if len(fkey) == 0 {
+				fkey = []byte("k")
+			}
+		case OpStats, OpPing:
+			fkey, fvalue = nil, nil
+		}
+		frame := AppendRequest(nil, fop, ttl, id, string(fkey), fvalue)
+		h, err := ParseRequestHeader(frame)
+		if err != nil {
+			t.Fatalf("valid frame rejected: %v (op=%v key=%d value=%d)", err, fop, len(fkey), len(fvalue))
+		}
+		if h.Op != fop || h.TTL != ttl || h.ID != id || h.KeyLen != len(fkey) || h.ValueLen != len(fvalue) {
+			t.Fatalf("request round trip mismatch: %+v", h)
+		}
+		if !bytes.Equal(frame[HeaderLen:HeaderLen+h.KeyLen], fkey) ||
+			!bytes.Equal(frame[HeaderLen+h.KeyLen:], fvalue) {
+			t.Fatal("request body mismatch")
+		}
+
+		rframe := AppendResponse(nil, Status(op%4), id, value)
+		rh, err := ParseResponseHeader(rframe)
+		if err != nil {
+			t.Fatalf("valid response rejected: %v", err)
+		}
+		if rh.Status != Status(op%4) || rh.ID != id || rh.ValueLen != len(value) {
+			t.Fatalf("response round trip mismatch: %+v", rh)
+		}
+
+		// Backward: the raw bytes (reusing key as the attack surface) must
+		// parse without panicking, and an accepted header must carry sane,
+		// re-encodable lengths.
+		raw := key
+		if rh, err := ParseRequestHeader(raw); err == nil {
+			if rh.KeyLen > MaxKeyLen || rh.ValueLen > MaxValueLen || rh.KeyLen < 0 || rh.ValueLen < 0 {
+				t.Fatalf("accepted header with unsafe lengths: %+v", rh)
+			}
+			reenc := AppendRequest(nil, rh.Op, rh.TTL, rh.ID,
+				string(make([]byte, rh.KeyLen)), make([]byte, rh.ValueLen))
+			if !bytes.Equal(reenc[:2], raw[:2]) || !bytes.Equal(reenc[12:16], raw[12:16]) {
+				t.Fatal("re-encoded header drifted from accepted bytes")
+			}
+			if binary.BigEndian.Uint16(reenc[2:4]) != uint16(rh.KeyLen) {
+				t.Fatal("re-encoded key length drifted")
+			}
+		}
+		if rh, err := ParseResponseHeader(raw); err == nil {
+			if rh.ValueLen > MaxValueLen || rh.ValueLen < 0 {
+				t.Fatalf("accepted response header with unsafe length: %+v", rh)
+			}
+		}
+	})
+}

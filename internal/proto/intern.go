@@ -1,0 +1,52 @@
+package proto
+
+// Interner folds []byte keys into stable strings without allocating on
+// repeat sightings. Go only elides the []byte->string conversion for a
+// direct map index, so the hit path is exactly that: a lookup keyed by
+// string(b), which the compiler compiles to a no-copy probe. The first
+// sighting of a key pays one string allocation; every later sighting of
+// the same bytes returns the interned string for free. This is what
+// makes the server's binary GET path zero-alloc: the cache API takes
+// string keys, but the conversion happens at most once per key per
+// connection, not once per request.
+//
+// The table is bounded: at max entries it is cleared wholesale (O(1)
+// amortized, no LRU bookkeeping on the hot path), so an adversarial or
+// unbounded key stream costs re-interning, never memory. An Interner is
+// not safe for concurrent use; give each connection its own.
+type Interner struct {
+	max int
+	m   map[string]string
+}
+
+// DefaultInternMax bounds a per-connection intern table at 32Ki keys —
+// ~8 MB worst case at the 250-byte key limit, a few hundred KB for
+// realistic keys, and comfortably above the hot set of a Zipfian
+// workload.
+const DefaultInternMax = 1 << 15
+
+// NewInterner returns an Interner bounded at max entries; max <= 0 means
+// DefaultInternMax.
+func NewInterner(max int) *Interner {
+	if max <= 0 {
+		max = DefaultInternMax
+	}
+	return &Interner{max: max, m: make(map[string]string, 64)}
+}
+
+// Intern returns a string equal to b, allocating only when these bytes
+// have not been seen since the last table reset.
+func (it *Interner) Intern(b []byte) string {
+	if s, ok := it.m[string(b)]; ok { // no-alloc lookup: compiler-elided conversion
+		return s
+	}
+	if len(it.m) >= it.max {
+		clear(it.m)
+	}
+	s := string(b)
+	it.m[s] = s
+	return s
+}
+
+// Len returns the number of interned keys since the last reset.
+func (it *Interner) Len() int { return len(it.m) }

@@ -1,0 +1,8 @@
+//go:build race
+
+package proto
+
+// RaceEnabled reports whether the race detector instruments this build.
+// Allocation-gate tests skip under the race detector: its instrumentation
+// allocates, so AllocsPerOp can never read 0.
+const RaceEnabled = true

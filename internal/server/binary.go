@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"time"
+
+	"s3fifo/internal/proto"
+)
+
+// binConn is per-connection binary-protocol state. The interner is what
+// keeps the GET-hit path allocation-free: the cache API takes string
+// keys, and interning bounds the []byte->string conversions to one per
+// distinct key per connection instead of one per request. The scratch
+// array holds outgoing response headers so encoding never touches the
+// heap.
+type binConn struct {
+	intern  *proto.Interner
+	scratch [proto.HeaderLen]byte
+}
+
+func newBinConn() *binConn {
+	return &binConn{intern: proto.NewInterner(0)}
+}
+
+// handleBinary runs the binary-protocol frame loop. Responses are
+// batched into the write buffer and flushed only when no further
+// complete request is already readable — one writev-style syscall per
+// pipelined burst, which is where the protocol's throughput comes from.
+func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
+	bc := newBinConn()
+	for {
+		// Like the text loop, the read deadline re-arms per frame, making
+		// connTimeout an idle timeout that also bounds payload reads.
+		if s.connTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.connTimeout))
+		}
+		// About to block for the next header? Ship the batched responses
+		// first, or a windowed client would wait on us while we wait on it.
+		if r.Buffered() < proto.HeaderLen && w.Buffered() > 0 {
+			if s.connTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.connTimeout))
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+		if fatal := s.dispatchBinary(r, w, bc); fatal {
+			w.Flush() // best effort: deliver the error frame / final batch
+			return
+		}
+	}
+}
+
+// dispatchBinary reads and executes one binary frame. A true result
+// means the connection is done: clean EOF, an I/O error, or a framing
+// error after which the byte stream cannot be trusted (the lengths that
+// would let us skip past the bad frame are the bytes in question).
+// Every accepted request is answered with exactly one response frame
+// carrying the request's id.
+func (s *Server) dispatchBinary(r *bufio.Reader, w *bufio.Writer, bc *binConn) (fatal bool) {
+	hdr, err := r.Peek(proto.HeaderLen)
+	if err != nil {
+		return true // EOF, deadline, or reset: nothing to answer
+	}
+	h, err := proto.ParseRequestHeader(hdr)
+	if err != nil {
+		s.binRespondErr(w, bc, 0, err.Error())
+		return true
+	}
+	r.Discard(proto.HeaderLen)
+	switch h.Op {
+	case proto.OpGet:
+		key, err := binKey(r, bc, h.KeyLen)
+		if err != nil {
+			return true
+		}
+		s.cmdGet.Add(1)
+		s.binGet.Add(1)
+		if v, ok := s.cache.Get(key); ok {
+			s.binRespond(w, bc, proto.StatusOK, h.ID, v)
+		} else {
+			s.binRespond(w, bc, proto.StatusMiss, h.ID, nil)
+		}
+
+	case proto.OpSet:
+		key, err := binKey(r, bc, h.KeyLen)
+		if err != nil {
+			return true
+		}
+		// The value is allocated, not pooled: the cache takes ownership of
+		// the slice for the entry's lifetime.
+		value := make([]byte, h.ValueLen)
+		if _, err := io.ReadFull(r, value); err != nil {
+			return true
+		}
+		s.cmdSet.Add(1)
+		s.binSet.Add(1)
+		var stored bool
+		if h.TTL > 0 {
+			stored = s.cache.SetWithTTL(key, value, time.Duration(h.TTL)*time.Second)
+		} else {
+			stored = s.cache.Set(key, value)
+		}
+		if stored {
+			s.binRespond(w, bc, proto.StatusOK, h.ID, nil)
+		} else {
+			s.binRespond(w, bc, proto.StatusNotStored, h.ID, nil)
+		}
+
+	case proto.OpDelete:
+		key, err := binKey(r, bc, h.KeyLen)
+		if err != nil {
+			return true
+		}
+		s.cmdDelete.Add(1)
+		s.binDelete.Add(1)
+		if s.cache.Contains(key) {
+			s.cache.Delete(key)
+			s.binRespond(w, bc, proto.StatusOK, h.ID, nil)
+		} else {
+			s.binRespond(w, bc, proto.StatusMiss, h.ID, nil)
+		}
+
+	case proto.OpStats:
+		var buf bytes.Buffer
+		s.writeStats(&buf)
+		s.binRespond(w, bc, proto.StatusOK, h.ID, buf.Bytes())
+
+	case proto.OpPing:
+		s.binRespond(w, bc, proto.StatusOK, h.ID, nil)
+	}
+	return false
+}
+
+// binKey reads an n-byte key without copying: the bytes are viewed in
+// the reader's buffer (n <= MaxKeyLen << buffer size, so Peek never
+// fails on length) and folded through the connection's interner.
+func binKey(r *bufio.Reader, bc *binConn, n int) (string, error) {
+	b, err := r.Peek(n)
+	if err != nil {
+		return "", err
+	}
+	key := bc.intern.Intern(b)
+	r.Discard(n)
+	return key, nil
+}
+
+// binRespond appends one response frame to the write buffer. Write
+// errors stick to the bufio.Writer and surface at the next flush.
+func (s *Server) binRespond(w *bufio.Writer, bc *binConn, st proto.Status, id uint32, value []byte) {
+	proto.PutResponseHeader(bc.scratch[:], st, id, len(value))
+	w.Write(bc.scratch[:])
+	if len(value) > 0 {
+		w.Write(value)
+	}
+}
+
+// binRespondErr answers a framing error before the connection drops.
+func (s *Server) binRespondErr(w *bufio.Writer, bc *binConn, id uint32, msg string) {
+	s.binRespond(w, bc, proto.StatusErr, id, []byte(msg))
+}

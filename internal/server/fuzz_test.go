@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"s3fifo/cache"
+	"s3fifo/internal/proto"
 )
 
 // FuzzDispatch feeds arbitrary byte streams through the command loop the
@@ -28,6 +29,13 @@ func FuzzDispatch(f *testing.F) {
 		"bogus\r\nset\r\nset k\r\n",
 		"set k 2\r\nhi\nset k 2\r\nhi\r\n", // bare-\n terminator
 		"set k 0\r\n\r\nget k\r\n",
+		// Memcached-dialect seeds: 5-token set, noreply, multi-get, gets,
+		// version, and malformed variants of each.
+		"set k 0 0 5\r\nhello\r\nget k\r\n",
+		"set k 0 0 5 noreply\r\nhello\r\nget k j\r\n",
+		"set k x 0 5\r\nhello\r\n",
+		"set k 0 -1 5\r\nhello\r\n",
+		"gets k j\r\nversion\r\ndelete k noreply\r\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -38,6 +46,7 @@ func FuzzDispatch(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := New(c)
+		tc := &textConn{}
 		r := bufio.NewReaderSize(bytes.NewReader(data), 16<<10)
 		w := bufio.NewWriterSize(io.Discard, 16<<10)
 		for {
@@ -45,10 +54,54 @@ func FuzzDispatch(f *testing.F) {
 			if err != nil {
 				return
 			}
-			quit, err := srv.dispatch(r, w, line)
+			quit, err := srv.dispatch(tc, r, w, line)
 			if err != nil || quit {
 				return
 			}
+			w.Flush()
+		}
+	})
+}
+
+// FuzzDispatchBinary drives the binary frame loop with arbitrary byte
+// streams: the server must never panic, never allocate from a lying
+// length field, and treat any framing damage as fatal for the
+// connection rather than resynchronizing on attacker-chosen bytes.
+func FuzzDispatchBinary(f *testing.F) {
+	seeds := [][]byte{
+		proto.AppendRequest(nil, proto.OpGet, 0, 1, "k", nil),
+		proto.AppendRequest(nil, proto.OpSet, 0, 2, "k", []byte("hello")),
+		proto.AppendRequest(nil, proto.OpSet, 60, 3, "k", []byte("hello")),
+		proto.AppendRequest(nil, proto.OpDelete, 0, 4, "k", nil),
+		proto.AppendRequest(nil, proto.OpStats, 0, 5, "", nil),
+		proto.AppendRequest(nil, proto.OpPing, 0, 6, "", nil),
+		// Pipelined burst.
+		proto.AppendRequest(
+			proto.AppendRequest(
+				proto.AppendRequest(nil, proto.OpSet, 0, 7, "k", []byte("v")),
+				proto.OpGet, 0, 8, "k", nil),
+			proto.OpDelete, 0, 9, "k", nil),
+		// Truncated header, truncated payload, bad magic, bad opcode,
+		// oversize lengths.
+		proto.AppendRequest(nil, proto.OpGet, 0, 1, "k", nil)[:proto.HeaderLen-3],
+		proto.AppendRequest(nil, proto.OpSet, 0, 1, "k", []byte("hello"))[:proto.HeaderLen+2],
+		{0x79, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 'k'},
+		{0x80, 42, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 'k'},
+		{0x80, 1, 0xff, 0xff, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 1},
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	c, err := cache.New(cache.Config{MaxBytes: 1 << 20})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := New(c)
+		bc := newBinConn()
+		r := bufio.NewReaderSize(bytes.NewReader(data), 16<<10)
+		w := bufio.NewWriterSize(io.Discard, 16<<10)
+		for !srv.dispatchBinary(r, w, bc) {
 			w.Flush()
 		}
 	})

@@ -1,7 +1,9 @@
 // Package server implements a memcached-style TCP cache server on top of
 // the public cache library — the kind of deployment (Memcached, Pelikan,
-// Cachelib services) the paper targets. The wire protocol is a compact
-// text protocol:
+// Cachelib services) the paper targets. Each connection speaks one of
+// two wire protocols, selected by its first byte:
+//
+// The compact text protocol (any printable first byte):
 //
 //	get <key>                    -> VALUE <key> <len>\r\n<bytes>\r\nEND  |  END
 //	set <key> <len> [ttl_sec]    -> (then <len> bytes + \r\n)  STORED | NOT_STORED
@@ -9,9 +11,25 @@
 //	stats                        -> STAT <name> <value> ... END
 //	quit                         -> closes the connection
 //
+// A memcached-text dialect rides the same dispatch table so external
+// load generators (memtier, mc-crusher) can drive the server unmodified:
+// "set <key> <flags> <exptime> <bytes> [noreply]", multi-key
+// "get k1 k2 ...", "gets", "version", and "delete ... noreply" are
+// recognized, and once any memcached-distinctive command is seen the
+// connection's VALUE lines switch to the memcached form
+// ("VALUE <key> <flags> <len>"). Flags are accepted and echoed as 0.
+//
+// The length-prefixed binary protocol (first byte 0x80; see
+// internal/proto) carries the same commands as fixed 16-byte-header
+// frames with request ids, enabling client-side pipelining; its server
+// path runs allocation-free on GET hits. Both protocols batch responses:
+// the server flushes once per readable burst of requests, not once per
+// command, so pipelined clients amortize syscalls in both directions.
+//
 // Keys are printable tokens up to 250 bytes (memcached's limit); values
-// up to 8 MiB. Errors respond with "ERROR <reason>" and keep the
-// connection usable.
+// up to 8 MiB. Text-protocol errors respond with "ERROR <reason>" and
+// keep the connection usable; binary framing errors answer an error
+// frame and close, since the stream can no longer be trusted.
 package server
 
 import (
@@ -27,6 +45,7 @@ import (
 	"time"
 
 	"s3fifo/cache"
+	"s3fifo/internal/proto"
 	"s3fifo/internal/telemetry"
 )
 
@@ -52,15 +71,22 @@ type Server struct {
 	// Hardening knobs, fixed at construction (see Options).
 	maxConns    int
 	connTimeout time.Duration
+	protoMode   string // "" or "auto", "text", "binary" (see WithProtocol)
 
 	// Protocol-level counters: total connections ever accepted and
 	// dispatched commands by verb (only well-formed commands count).
+	// cmd* counters are totals across both wire protocols; bin* count the
+	// binary-protocol share, so text = cmd* - bin*.
 	connsTotal    atomic.Uint64
 	connsRejected atomic.Uint64 // turned away at the max-conns cap
+	connsBinary   atomic.Uint64 // connections that auto-detected binary
 	acceptRetries atomic.Uint64 // transient Accept errors retried
 	cmdGet        atomic.Uint64
 	cmdSet        atomic.Uint64
 	cmdDelete     atomic.Uint64
+	binGet        atomic.Uint64
+	binSet        atomic.Uint64
+	binDelete     atomic.Uint64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -84,6 +110,14 @@ func WithMaxConns(n int) Option {
 // means no deadlines (the default).
 func WithConnTimeout(d time.Duration) Option {
 	return func(s *Server) { s.connTimeout = d }
+}
+
+// WithProtocol pins the accepted wire protocol: "auto" (the default)
+// sniffs the first byte per connection, "text" disables binary framing
+// entirely, and "binary" rejects text clients with a parting error line.
+// Unknown modes fall back to "auto".
+func WithProtocol(mode string) Option {
+	return func(s *Server) { s.protoMode = mode }
 }
 
 // New returns a server around c.
@@ -135,6 +169,28 @@ func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
 		telemetry.Labels{{Key: "cmd", Value: "set"}}, s.cmdSet.Load)
 	reg.CounterFunc("server_commands_total", cmdHelp,
 		telemetry.Labels{{Key: "cmd", Value: "delete"}}, s.cmdDelete.Load)
+	reg.CounterFunc("server_binary_connections_total",
+		"Connections that auto-detected the binary protocol.",
+		nil, s.connsBinary.Load)
+	// Per-protocol command families: the binary side is counted directly;
+	// the text side is the monotonic difference (cmd* counts both).
+	protoHelp := "Dispatched protocol commands by verb and wire protocol."
+	for _, f := range []struct {
+		cmd        string
+		total, bin *atomic.Uint64
+	}{
+		{"get", &s.cmdGet, &s.binGet},
+		{"set", &s.cmdSet, &s.binSet},
+		{"delete", &s.cmdDelete, &s.binDelete},
+	} {
+		f := f
+		reg.CounterFunc("server_proto_commands_total", protoHelp,
+			telemetry.Labels{{Key: "cmd", Value: f.cmd}, {Key: "proto", Value: "binary"}},
+			f.bin.Load)
+		reg.CounterFunc("server_proto_commands_total", protoHelp,
+			telemetry.Labels{{Key: "cmd", Value: f.cmd}, {Key: "proto", Value: "text"}},
+			func() uint64 { return f.total.Load() - f.bin.Load() })
+	}
 }
 
 // Cache returns the underlying cache (for stats inspection).
@@ -237,6 +293,36 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.dropConn(conn)
 	r := bufio.NewReaderSize(conn, 16<<10)
 	w := bufio.NewWriterSize(conn, 16<<10)
+	// Protocol selection: one peeked byte. 0x80 is outside printable
+	// ASCII, so no text command can start a binary frame or vice versa.
+	if s.connTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.connTimeout))
+	}
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == proto.MagicReq {
+		if s.protoMode == "text" {
+			return // binary framing disabled: drop silently, no text reply parses
+		}
+		s.connsBinary.Add(1)
+		s.handleBinary(conn, r, w)
+		return
+	}
+	if s.protoMode == "binary" {
+		protoErr(w, "binary protocol required")
+		w.Flush()
+		return
+	}
+	s.handleText(conn, r, w)
+}
+
+// handleText runs the text-protocol command loop. Responses are batched:
+// the writer flushes only when the read buffer drains, so a pipelined
+// client burst costs one write syscall, not one per command.
+func (s *Server) handleText(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
+	tc := &textConn{}
 	for {
 		// The read deadline is re-armed per command, making connTimeout an
 		// idle timeout; it also bounds each command's payload read, since
@@ -246,11 +332,26 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		line, err := readLine(r)
 		if err != nil {
+			if errors.Is(err, bufio.ErrBufferFull) {
+				// The client sent a request line longer than the read buffer
+				// (or no newline at all). Answer, then drop: the line framing
+				// is lost, and an unbounded read would grow server memory at
+				// the client's pleasure.
+				protoErr(w, "request line too long")
+				w.Flush()
+			}
 			return
 		}
-		quit, err := s.dispatch(r, w, line)
-		if err != nil || quit {
+		quit, err := s.dispatch(tc, r, w, line)
+		if err != nil {
 			return
+		}
+		if quit {
+			w.Flush() // deliver responses batched before the quit
+			return
+		}
+		if r.Buffered() > 0 {
+			continue // more pipelined commands already here: keep batching
 		}
 		if s.connTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.connTimeout))
@@ -262,29 +363,68 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // readLine reads a \r\n- or \n-terminated line without the terminator.
+// The line must fit the reader's buffer: ReadSlice surfaces
+// bufio.ErrBufferFull for anything longer, bounding what one connection
+// can make the server hold (ReadString would buffer without limit).
 func readLine(r *bufio.Reader) (string, error) {
-	line, err := r.ReadString('\n')
+	b, err := r.ReadSlice('\n')
 	if err != nil {
 		return "", err
 	}
-	return strings.TrimRight(line, "\r\n"), nil
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return string(b), nil
+}
+
+// textConn is per-connection text-protocol state: whether the peer has
+// revealed itself as a memcached client. The dialect is sticky — after
+// any memcached-distinctive command (5-token set, multi-key get, gets,
+// version, noreply), VALUE lines carry the memcached flags column for
+// the rest of the connection.
+type textConn struct {
+	memcached bool
 }
 
 // dispatch executes one command. Protocol errors are reported to the
 // client and are not fatal; I/O errors are.
-func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit bool, err error) {
+func (s *Server) dispatch(tc *textConn, r *bufio.Reader, w *bufio.Writer, line string) (quit bool, err error) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return false, protoErr(w, "empty command")
 	}
 	switch fields[0] {
-	case "get":
-		if len(fields) != 2 {
+	case "get", "gets":
+		if fields[0] == "gets" || len(fields) > 2 {
+			tc.memcached = true
+		}
+		if len(fields) < 2 {
 			return false, protoErr(w, "usage: get <key>")
 		}
-		s.cmdGet.Add(1)
-		if v, ok := s.cache.Get(fields[1]); ok {
-			fmt.Fprintf(w, "VALUE %s %d\r\n", fields[1], len(v))
+		if !tc.memcached {
+			s.cmdGet.Add(1)
+			if v, ok := s.cache.Get(fields[1]); ok {
+				fmt.Fprintf(w, "VALUE %s %d\r\n", fields[1], len(v))
+				w.Write(v)
+				w.WriteString("\r\n")
+			}
+			w.WriteString("END\r\n")
+			return false, nil
+		}
+		// Memcached dialect: multi-key get, flags column (always 0), and a
+		// cas column for gets (always 0 — no cas support).
+		withCas := fields[0] == "gets"
+		for _, key := range fields[1:] {
+			s.cmdGet.Add(1)
+			v, ok := s.cache.Get(key)
+			if !ok {
+				continue
+			}
+			if withCas {
+				fmt.Fprintf(w, "VALUE %s 0 %d 0\r\n", key, len(v))
+			} else {
+				fmt.Fprintf(w, "VALUE %s 0 %d\r\n", key, len(v))
+			}
 			w.Write(v)
 			w.WriteString("\r\n")
 		}
@@ -292,6 +432,10 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 		return false, nil
 
 	case "set":
+		if len(fields) >= 5 {
+			tc.memcached = true
+			return s.memcachedSet(r, w, fields)
+		}
 		if len(fields) != 3 && len(fields) != 4 {
 			return false, protoErr(w, "usage: set <key> <len> [ttl]")
 		}
@@ -333,51 +477,35 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 		return false, nil
 
 	case "delete":
-		if len(fields) != 2 {
+		noreply := len(fields) == 3 && fields[2] == "noreply"
+		if noreply {
+			tc.memcached = true
+		}
+		if len(fields) != 2 && !noreply {
 			return false, protoErr(w, "usage: delete <key>")
 		}
 		s.cmdDelete.Add(1)
-		if s.cache.Contains(fields[1]) {
+		existed := s.cache.Contains(fields[1])
+		if existed {
 			s.cache.Delete(fields[1])
+		}
+		if noreply {
+			return false, nil
+		}
+		if existed {
 			w.WriteString("DELETED\r\n")
 		} else {
 			w.WriteString("NOT_FOUND\r\n")
 		}
 		return false, nil
 
+	case "version":
+		tc.memcached = true
+		w.WriteString("VERSION s3cached-s3fifo\r\n")
+		return false, nil
+
 	case "stats":
-		st := s.cache.Stats()
-		fmt.Fprintf(w, "STAT engine %s\r\n", s.cache.Engine())
-		fmt.Fprintf(w, "STAT hits %d\r\n", st.Hits)
-		fmt.Fprintf(w, "STAT misses %d\r\n", st.Misses)
-		fmt.Fprintf(w, "STAT sets %d\r\n", st.Sets)
-		fmt.Fprintf(w, "STAT evictions %d\r\n", st.Evictions)
-		fmt.Fprintf(w, "STAT expired %d\r\n", st.Expired)
-		fmt.Fprintf(w, "STAT dram_hits %d\r\n", st.DRAMHits)
-		fmt.Fprintf(w, "STAT flash_hits %d\r\n", st.FlashHits)
-		fmt.Fprintf(w, "STAT flash_bytes_written %d\r\n", st.FlashBytesWritten)
-		fmt.Fprintf(w, "STAT flash_gc_bytes %d\r\n", st.FlashGCBytes)
-		fmt.Fprintf(w, "STAT flash_segments %d\r\n", st.FlashSegments)
-		fmt.Fprintf(w, "STAT flash_entries %d\r\n", st.FlashEntries)
-		fmt.Fprintf(w, "STAT demotions %d\r\n", st.Demotions)
-		fmt.Fprintf(w, "STAT demotions_declined %d\r\n", st.DemotionsDeclined)
-		fmt.Fprintf(w, "STAT promotions %d\r\n", st.Promotions)
-		fmt.Fprintf(w, "STAT entries %d\r\n", s.cache.Len())
-		fmt.Fprintf(w, "STAT bytes %d\r\n", s.cache.Used())
-		fmt.Fprintf(w, "STAT capacity %d\r\n", s.cache.Capacity())
-		fmt.Fprintf(w, "STAT uptime_seconds %d\r\n", int64(s.uptime().Seconds()))
-		fmt.Fprintf(w, "STAT demotions_degraded %d\r\n", st.DemotionsDegraded)
-		fmt.Fprintf(w, "STAT flash_errors %d\r\n", st.FlashErrors)
-		fmt.Fprintf(w, "STAT flash_degraded %d\r\n", boolStat(st.FlashDegraded))
-		fmt.Fprintf(w, "STAT flash_breaker_trips %d\r\n", st.FlashBreakerTrips)
-		fmt.Fprintf(w, "STAT flash_breaker_restores %d\r\n", st.FlashBreakerRestores)
-		fmt.Fprintf(w, "STAT curr_connections %d\r\n", s.connsCurrent())
-		fmt.Fprintf(w, "STAT total_connections %d\r\n", s.connsTotal.Load())
-		fmt.Fprintf(w, "STAT rejected_connections %d\r\n", s.connsRejected.Load())
-		fmt.Fprintf(w, "STAT accept_retries %d\r\n", s.acceptRetries.Load())
-		fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.cmdGet.Load())
-		fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.cmdSet.Load())
-		fmt.Fprintf(w, "STAT cmd_delete %d\r\n", s.cmdDelete.Load())
+		s.writeStats(w)
 		w.WriteString("END\r\n")
 		return false, nil
 
@@ -387,6 +515,97 @@ func (s *Server) dispatch(r *bufio.Reader, w *bufio.Writer, line string) (quit b
 	default:
 		return false, protoErr(w, "unknown command "+fields[0])
 	}
+}
+
+// memcachedSet handles "set <key> <flags> <exptime> <bytes> [noreply]".
+// Flags are accepted and discarded (GETs echo 0); exptime is treated as
+// relative seconds (the >30-days-means-unix-timestamp rule is not
+// implemented — load generators use 0 or small values). Errors use the
+// memcached CLIENT_ERROR form so strict client parsers recover.
+func (s *Server) memcachedSet(r *bufio.Reader, w *bufio.Writer, fields []string) (quit bool, err error) {
+	noreply := len(fields) == 6 && fields[5] == "noreply"
+	if len(fields) != 5 && !noreply {
+		return false, clientErr(w, "bad command line format")
+	}
+	key := fields[1]
+	if len(key) > MaxKeyLen {
+		return false, clientErr(w, "key too long")
+	}
+	if _, err := strconv.ParseUint(fields[2], 10, 32); err != nil {
+		return false, clientErr(w, "bad flags")
+	}
+	exp, err := strconv.Atoi(fields[3])
+	if err != nil || exp < 0 {
+		return false, clientErr(w, "bad exptime")
+	}
+	n, err := strconv.Atoi(fields[4])
+	if err != nil || n < 0 || n > MaxValueLen {
+		return false, clientErr(w, "bad data chunk size")
+	}
+	value := make([]byte, n)
+	if _, err := io.ReadFull(r, value); err != nil {
+		return true, err // payload truncated: connection unusable
+	}
+	if err := expectCRLF(r); err != nil {
+		return true, err
+	}
+	s.cmdSet.Add(1)
+	var stored bool
+	if exp > 0 {
+		stored = s.cache.SetWithTTL(key, value, time.Duration(exp)*time.Second)
+	} else {
+		stored = s.cache.Set(key, value)
+	}
+	if noreply {
+		return false, nil
+	}
+	if stored {
+		w.WriteString("STORED\r\n")
+	} else {
+		w.WriteString("NOT_STORED\r\n")
+	}
+	return false, nil
+}
+
+// writeStats renders the STAT lines (without the END terminator — the
+// text path appends it, the binary path ships the lines as a payload).
+func (s *Server) writeStats(w io.Writer) {
+	st := s.cache.Stats()
+	fmt.Fprintf(w, "STAT engine %s\r\n", s.cache.Engine())
+	fmt.Fprintf(w, "STAT hits %d\r\n", st.Hits)
+	fmt.Fprintf(w, "STAT misses %d\r\n", st.Misses)
+	fmt.Fprintf(w, "STAT sets %d\r\n", st.Sets)
+	fmt.Fprintf(w, "STAT evictions %d\r\n", st.Evictions)
+	fmt.Fprintf(w, "STAT expired %d\r\n", st.Expired)
+	fmt.Fprintf(w, "STAT dram_hits %d\r\n", st.DRAMHits)
+	fmt.Fprintf(w, "STAT flash_hits %d\r\n", st.FlashHits)
+	fmt.Fprintf(w, "STAT flash_bytes_written %d\r\n", st.FlashBytesWritten)
+	fmt.Fprintf(w, "STAT flash_gc_bytes %d\r\n", st.FlashGCBytes)
+	fmt.Fprintf(w, "STAT flash_segments %d\r\n", st.FlashSegments)
+	fmt.Fprintf(w, "STAT flash_entries %d\r\n", st.FlashEntries)
+	fmt.Fprintf(w, "STAT demotions %d\r\n", st.Demotions)
+	fmt.Fprintf(w, "STAT demotions_declined %d\r\n", st.DemotionsDeclined)
+	fmt.Fprintf(w, "STAT promotions %d\r\n", st.Promotions)
+	fmt.Fprintf(w, "STAT entries %d\r\n", s.cache.Len())
+	fmt.Fprintf(w, "STAT bytes %d\r\n", s.cache.Used())
+	fmt.Fprintf(w, "STAT capacity %d\r\n", s.cache.Capacity())
+	fmt.Fprintf(w, "STAT uptime_seconds %d\r\n", int64(s.uptime().Seconds()))
+	fmt.Fprintf(w, "STAT demotions_degraded %d\r\n", st.DemotionsDegraded)
+	fmt.Fprintf(w, "STAT flash_errors %d\r\n", st.FlashErrors)
+	fmt.Fprintf(w, "STAT flash_degraded %d\r\n", boolStat(st.FlashDegraded))
+	fmt.Fprintf(w, "STAT flash_breaker_trips %d\r\n", st.FlashBreakerTrips)
+	fmt.Fprintf(w, "STAT flash_breaker_restores %d\r\n", st.FlashBreakerRestores)
+	fmt.Fprintf(w, "STAT curr_connections %d\r\n", s.connsCurrent())
+	fmt.Fprintf(w, "STAT total_connections %d\r\n", s.connsTotal.Load())
+	fmt.Fprintf(w, "STAT rejected_connections %d\r\n", s.connsRejected.Load())
+	fmt.Fprintf(w, "STAT accept_retries %d\r\n", s.acceptRetries.Load())
+	fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.cmdGet.Load())
+	fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.cmdSet.Load())
+	fmt.Fprintf(w, "STAT cmd_delete %d\r\n", s.cmdDelete.Load())
+		fmt.Fprintf(w, "STAT cmd_get_binary %d\r\n", s.binGet.Load())
+		fmt.Fprintf(w, "STAT cmd_set_binary %d\r\n", s.binSet.Load())
+		fmt.Fprintf(w, "STAT cmd_delete_binary %d\r\n", s.binDelete.Load())
+		fmt.Fprintf(w, "STAT binary_connections %d\r\n", s.connsBinary.Load())
 }
 
 // boolStat renders a boolean as a 0/1 STAT value.
@@ -417,5 +636,12 @@ func expectCRLF(r *bufio.Reader) error {
 // protoErr reports a recoverable protocol error to the client.
 func protoErr(w *bufio.Writer, reason string) error {
 	_, err := fmt.Fprintf(w, "ERROR %s\r\n", reason)
+	return err
+}
+
+// clientErr reports a recoverable protocol error in the memcached form,
+// which strict memcached client parsers know how to skip.
+func clientErr(w *bufio.Writer, reason string) error {
+	_, err := fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", reason)
 	return err
 }

@@ -256,7 +256,10 @@ func TestCloseUnblocksServe(t *testing.T) {
 	}
 }
 
-func BenchmarkServerGetHit(b *testing.B) {
+// BenchmarkServerGetHitLoopback measures the full text round trip over
+// TCP loopback; BenchmarkServerGetHit (bench_test.go) measures the
+// in-process binary dispatch path.
+func BenchmarkServerGetHitLoopback(b *testing.B) {
 	c, _ := cache.New(cache.Config{MaxBytes: 1 << 24})
 	srv := New(c)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
