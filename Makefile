@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-flash tier1 bench bench-allocs bench-overhead throughput flashbench
+.PHONY: all build vet test test-race test-flash test-cluster tier1 bench bench-allocs bench-overhead throughput flashbench
 
 all: tier1
 
@@ -29,9 +29,18 @@ test-race:
 test-flash:
 	$(GO) test -race ./internal/faultfs/... ./internal/flash/... ./cache/... ./client/... .
 
+# Race-detector pass over cluster mode: the consistent-hash ring's
+# property tests and the router (per-node breakers probing in the
+# background, membership changes, replicated reads repairing) driven
+# against real in-process servers — including the 3-node kill/rejoin
+# end-to-end scenario.
+test-cluster:
+	$(GO) test -race ./internal/hashring/... ./cluster/...
+
 # Tier-1 verification: everything must build and vet clean, the full
-# suite must pass, and the concurrent + tiered paths must be race-clean.
-tier1: build vet test test-race test-flash
+# suite must pass, and the concurrent + tiered + cluster paths must be
+# race-clean.
+tier1: build vet test test-race test-flash test-cluster
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

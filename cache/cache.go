@@ -454,6 +454,13 @@ func (c *Cache) Contains(key string) bool {
 // Len returns the number of cached entries.
 func (c *Cache) Len() int { return c.engine.Len() }
 
+// Sample returns up to max resident DRAM keys, hottest first when the
+// engine tracks per-key frequency (the concurrent engine does; the
+// policy engine reports Freq 0 in arbitrary order). This backs the
+// server's KEYS command, which cluster warm-up uses to replay a joining
+// node's working set.
+func (c *Cache) Sample(max int) []KeySample { return c.engine.Sample(max) }
+
 // Used returns the cached bytes (keys + values).
 func (c *Cache) Used() uint64 { return c.engine.Used() }
 

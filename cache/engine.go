@@ -59,6 +59,20 @@ type Engine interface {
 	// operation. Engines running a non-S3-FIFO policy report their whole
 	// residency as the main queue and zero small/ghost occupancy.
 	Occupancy() QueueOccupancy
+	// Sample returns up to max resident keys ordered hottest-first by the
+	// engine's access-frequency counter, for cluster warm-up (the KEYS
+	// command). Engines without per-key frequency report Freq 0 and an
+	// arbitrary resident sample. Like Range it may observe concurrent
+	// mutation; it is a scrape-time operation, not a hot-path one.
+	Sample(max int) []KeySample
+}
+
+// KeySample is one entry of an engine's hot-key export: the key and its
+// access frequency at sampling time (the S3-FIFO freq counter, 0..3+, or
+// 0 when the engine does not track frequency).
+type KeySample struct {
+	Key  string
+	Freq int
 }
 
 // EngineCounters are cumulative eviction-flow counts — the taxonomy

@@ -77,6 +77,17 @@ func (e *concurrentEngine) Counters() EngineCounters {
 	}
 }
 
+// Sample implements Engine with the KV's real per-entry frequency
+// counters, hottest first.
+func (e *concurrentEngine) Sample(max int) []KeySample {
+	hot := e.kv.SampleHot(max)
+	out := make([]KeySample, len(hot))
+	for i, h := range hot {
+		out[i] = KeySample{Key: h.Key, Freq: h.Freq}
+	}
+	return out
+}
+
 func (e *concurrentEngine) Occupancy() QueueOccupancy {
 	qs := e.kv.Queues()
 	return QueueOccupancy{

@@ -320,6 +320,38 @@ func (pe *policyEngine) Counters() EngineCounters {
 	return ec
 }
 
+// Sample implements Engine. The policy layer does not expose per-key
+// frequency counters, so the sample is an arbitrary slice of residency
+// with Freq 0 — warm-up over this engine copies resident keys without
+// hotness ordering. Spread across shards so a small max still samples
+// the whole keyspace.
+func (pe *policyEngine) Sample(max int) []KeySample {
+	if max <= 0 {
+		return nil
+	}
+	out := make([]KeySample, 0, max)
+	perShard := max/len(pe.shards) + 1
+	for _, s := range pe.shards {
+		s.mu.Lock()
+		taken := 0
+		for key, e := range s.entries {
+			if e.expired() {
+				continue
+			}
+			out = append(out, KeySample{Key: key})
+			taken++
+			if taken >= perShard || len(out) >= max {
+				break
+			}
+		}
+		s.mu.Unlock()
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
 // Occupancy implements Engine: per-queue byte and entry counts sampled
 // under each shard lock. Policies other than the S3-FIFO core expose no
 // queue structure, so their residency is reported wholesale as main.

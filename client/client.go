@@ -146,13 +146,31 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	return c, nil
 }
 
-// redialLocked (re)establishes the connection. Callers hold c.mu.
-func (c *Client) redialLocked() error {
-	timeout := c.opts.DialTimeout
+// dialTCP dials addr and rejects TCP self-connection: dialing a freed
+// ephemeral port (a cache node that just went down) can make the kernel
+// pick that same port as the connection's source, and the
+// simultaneous-open handshake then "succeeds" against ourselves — an
+// established connection with no server behind it, which would hang
+// until a keepalive kills it instead of failing fast.
+func dialTCP(addr string, timeout time.Duration) (net.Conn, error) {
 	if timeout < 0 {
 		timeout = 0 // net.DialTimeout: 0 means no timeout
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, timeout)
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if local, remote := conn.LocalAddr(), conn.RemoteAddr(); local.String() == remote.String() {
+		conn.Close()
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Addr: remote,
+			Err: errors.New("refusing self-connection")}
+	}
+	return conn, nil
+}
+
+// redialLocked (re)establishes the connection. Callers hold c.mu.
+func (c *Client) redialLocked() error {
+	conn, err := dialTCP(c.addr, c.opts.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -526,6 +544,7 @@ func (c *Client) Delete(key string) (bool, error) {
 // are zero when the server runs without a flash tier.
 type ServerStats struct {
 	Engine            string // serving engine ("policy" or "concurrent")
+	NodeID            string // cluster node identity (s3cached -node-id); "" when unset
 	Hits              uint64 // DRAMHits + FlashHits
 	Misses            uint64
 	Sets              uint64
@@ -579,6 +598,7 @@ func (c *Client) ServerStats() (ServerStats, error) {
 	}
 	return ServerStats{
 		Engine:            raw["engine"],
+		NodeID:            raw["node_id"],
 		Hits:              m["hits"],
 		Misses:            m["misses"],
 		Sets:              m["sets"],
@@ -664,6 +684,106 @@ func (c *Client) Ping() error {
 		_, _, err := c.binRoundTrip(proto.OpPing, "", nil, 0)
 		return err
 	})
+}
+
+// KeySample is one entry of a server's hot-key export (the keys
+// command): a resident key and its access frequency at sampling time (0
+// when the serving engine does not track per-key frequency).
+type KeySample struct {
+	Key  string
+	Freq int
+}
+
+// parseKeysPayload parses "KEY <freq> <key>" lines (the keys command's
+// payload) into samples, preserving server order (hottest first).
+func parseKeysPayload(payload []byte) ([]KeySample, error) {
+	var out []KeySample
+	for _, line := range strings.Split(string(payload), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 3)
+		if len(fields) != 3 || fields[0] != "KEY" {
+			return nil, fmt.Errorf("client: malformed key line %q", line)
+		}
+		freq, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("client: bad freq in %q", line)
+		}
+		out = append(out, KeySample{Key: fields[2], Freq: freq})
+	}
+	return out, nil
+}
+
+// Keys fetches up to max resident keys from the server, hottest first
+// when the serving engine tracks per-key frequency — the feed cluster
+// warm-up replays into a joining node. max <= 0 asks for the server's
+// default sample size.
+func (c *Client) Keys(max int) ([]KeySample, error) {
+	ttl := uint32(0) // the binary frame carries max in the TTL field
+	if max > 0 {
+		ttl = uint32(max)
+	}
+	if c.pipe != nil {
+		_, payload, err := c.pipe.roundTrip(proto.OpKeys, "", nil, ttl)
+		if err != nil {
+			return nil, err
+		}
+		return parseKeysPayload(payload)
+	}
+	if c.opts.Binary {
+		var out []KeySample
+		err := c.do(func() error {
+			_, payload, err := c.binRoundTrip(proto.OpKeys, "", nil, ttl)
+			if err != nil {
+				return err
+			}
+			out, err = parseKeysPayload(payload)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	var out []KeySample
+	err := c.do(func() error {
+		if max > 0 {
+			fmt.Fprintf(c.w, "keys %d\r\n", max)
+		} else {
+			fmt.Fprintf(c.w, "keys\r\n")
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		out = nil
+		for {
+			line, err := c.readLine()
+			if err != nil {
+				return err
+			}
+			if line == "END" {
+				return nil
+			}
+			if strings.HasPrefix(line, "ERROR") {
+				return errFor(line)
+			}
+			fields := strings.SplitN(line, " ", 3)
+			if len(fields) != 3 || fields[0] != "KEY" {
+				return fmt.Errorf("client: malformed key line %q", line)
+			}
+			freq, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fmt.Errorf("client: bad freq in %q", line)
+			}
+			out = append(out, KeySample{Key: fields[2], Freq: freq})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // StatsRaw fetches every STAT line verbatim as a name -> value map.

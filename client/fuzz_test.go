@@ -1,0 +1,33 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzKeysPayload hardens the keys-export payload parser — the frame
+// body a cluster router trusts a (possibly skewed) server to produce —
+// against malformed lines: it must either parse or error, never panic,
+// and whatever parses must round out to well-formed samples.
+func FuzzKeysPayload(f *testing.F) {
+	f.Add([]byte("KEY 3 alpha\r\nKEY 0 beta\r\n"))
+	f.Add([]byte("KEY 15 key with spaces\r\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("KEY -1 negative\r\n"))
+	f.Add([]byte("KEY notanumber k\r\n"))
+	f.Add([]byte("STAT hits 4\r\n"))
+	f.Add([]byte("KEY 1\r\n"))
+	f.Add([]byte("KEY 9 \r\n"))
+	f.Add([]byte("\r\n\r\nKEY 2 x\r\n"))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		samples, err := parseKeysPayload(payload)
+		if err != nil {
+			return
+		}
+		for _, s := range samples {
+			if strings.ContainsAny(s.Key, "\r\n") {
+				t.Fatalf("parsed key %q contains line breaks", s.Key)
+			}
+		}
+	})
+}

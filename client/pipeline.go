@@ -2,13 +2,13 @@ package client
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"s3fifo/internal/proto"
@@ -35,12 +35,11 @@ type pipe struct {
 	window   chan struct{} // in-flight slots (capacity Options.Pipeline)
 	flushReq chan struct{} // capacity 1: "the buffer has unflushed frames"
 
-	nextID atomic.Uint32 // request ids; uniqueness matters, order doesn't
-
 	mu      sync.Mutex
 	conn    net.Conn
 	w       *bufio.Writer
 	gen     uint64 // bumped on every teardown; readLoop exits on mismatch
+	idSeq   uint32 // last assigned request id; reseeded per generation (see redialLocked)
 	pending map[uint32]*pcall // in-flight requests of the current generation
 	closed  bool
 }
@@ -120,17 +119,23 @@ func (p *pipe) dial() error {
 
 // redialLocked (re)connects and starts the generation's reader.
 func (p *pipe) redialLocked() error {
-	timeout := p.c.opts.DialTimeout
-	if timeout < 0 {
-		timeout = 0
-	}
-	conn, err := net.DialTimeout("tcp", p.c.addr, timeout)
+	conn, err := dialTCP(p.c.addr, p.c.opts.DialTimeout)
 	if err != nil {
 		return err
 	}
 	p.conn = conn
 	p.w = bufio.NewWriterSize(conn, 64<<10)
 	p.gen++
+	// Reseed the request-id sequence from the generation, spread across
+	// the id space by the golden-ratio constant. Ids are only ever
+	// matched against the current generation's pending map, but salting
+	// the base makes the guarantee unconditional: a frame carrying an id
+	// from an earlier connection generation (a delayed duplicate, a
+	// middlebox replay, a server bug straddling the reconnect) cannot
+	// collide with a live id until ~2^32 requests elapse within one
+	// generation — at which point the stream fails loudly on the unknown
+	// id rather than mis-delivering a response.
+	p.idSeq = uint32(p.gen * 0x9E3779B1)
 	p.pending = make(map[uint32]*pcall)
 	go p.readLoop(p.gen, conn, bufio.NewReaderSize(conn, 64<<10))
 	return nil
@@ -213,11 +218,12 @@ func (p *pipe) readLoop(gen uint64, conn net.Conn, r *bufio.Reader) {
 func (p *pipe) attempt(op proto.Op, key string, value []byte, ttl uint32) (proto.Status, []byte, error) {
 	call := pcallPool.Get().(*pcall)
 	call.status, call.value, call.err = 0, nil, nil
-	// Encode outside the lock; only id registration and the buffered
-	// write need exclusion.
-	id := p.nextID.Add(1)
+	// Encode outside the lock with a placeholder id; the real id is
+	// assigned under the mutex — after any redial, so it always belongs
+	// to the generation the frame is written on — and patched into the
+	// frame's id field in place.
 	buf := proto.GetBuf()
-	*buf = proto.AppendRequest(*buf, op, ttl, id, key, value)
+	*buf = proto.AppendRequest(*buf, op, ttl, 0, key, value)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -234,6 +240,9 @@ func (p *pipe) attempt(op proto.Op, key string, value []byte, ttl uint32) (proto
 		}
 	}
 	gen := p.gen
+	p.idSeq++
+	id := p.idSeq
+	binary.BigEndian.PutUint32((*buf)[12:16], id)
 	p.pending[id] = call
 	_, werr := p.w.Write(*buf)
 	if werr != nil {

@@ -1,0 +1,140 @@
+// Regression tests for request-id generation hygiene across pipelined
+// redials: ids are reseeded per connection generation, and a response
+// carrying an id the current generation never issued must kill the
+// connection rather than complete someone else's call.
+package client
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"s3fifo/internal/proto"
+)
+
+// TestPipelinedIDsReseedPerGeneration: after a redial, the id sequence
+// starts from a different generation-salted base, so an id from the old
+// connection cannot equal a live id on the new one.
+func TestPipelinedIDsReseedPerGeneration(t *testing.T) {
+	var mu sync.Mutex
+	idsByConn := map[int64][]uint32{}
+	srv := newStubServer(t, func(conn net.Conn, nth int64) {
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		hdr := make([]byte, proto.HeaderLen)
+		for {
+			if _, err := io.ReadFull(r, hdr); err != nil {
+				return
+			}
+			h, err := proto.ParseRequestHeader(hdr)
+			if err != nil {
+				return
+			}
+			if _, err := r.Discard(h.KeyLen + h.ValueLen); err != nil {
+				return
+			}
+			mu.Lock()
+			idsByConn[nth] = append(idsByConn[nth], h.ID)
+			n := len(idsByConn[nth])
+			mu.Unlock()
+			if nth == 1 && n == 2 {
+				return // drop the first connection mid-stream: forces a redial
+			}
+			if _, err := conn.Write(proto.AppendResponse(nil, proto.StatusMiss, h.ID, nil)); err != nil {
+				return
+			}
+		}
+	})
+	c, err := DialOptions(srv.addr(), Options{
+		Pipeline:     4,
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Get("k"); err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(idsByConn) < 2 {
+		t.Fatalf("expected a redial; connections seen: %d", len(idsByConn))
+	}
+	seen := map[uint32]int64{}
+	for conn, ids := range idsByConn {
+		for _, id := range ids {
+			if prev, dup := seen[id]; dup && prev != conn {
+				t.Fatalf("request id %d reused across connection generations %d and %d",
+					id, prev, conn)
+			}
+			seen[id] = conn
+		}
+	}
+	// The reseed must actually move the base, not just continue counting:
+	// consecutive generations start 0x9E3779B1 apart.
+	first := idsByConn[1][0]
+	second := idsByConn[2][0]
+	if second == first+uint32(len(idsByConn[1])) {
+		t.Fatalf("generation 2 continued generation 1's sequence (%d after %v)",
+			second, idsByConn[1])
+	}
+}
+
+// TestPipelinedStaleIDKillsConnection: a response frame whose id matches
+// nothing in flight (a stale frame from a previous generation, a replay,
+// a server bug) must fail the connection — and the caller's retry then
+// succeeds on a fresh one — never complete an unrelated call.
+func TestPipelinedStaleIDKillsConnection(t *testing.T) {
+	srv := newStubServer(t, func(conn net.Conn, nth int64) {
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		hdr := make([]byte, proto.HeaderLen)
+		for {
+			if _, err := io.ReadFull(r, hdr); err != nil {
+				return
+			}
+			h, err := proto.ParseRequestHeader(hdr)
+			if err != nil {
+				return
+			}
+			if _, err := r.Discard(h.KeyLen + h.ValueLen); err != nil {
+				return
+			}
+			id := h.ID
+			if nth == 1 {
+				id += 12345 // a stale/foreign id: the client never issued it
+			}
+			if _, err := conn.Write(proto.AppendResponse(nil, proto.StatusOK, id, []byte("poison"))); err != nil {
+				return
+			}
+		}
+	})
+	c, err := DialOptions(srv.addr(), Options{
+		Pipeline:     4,
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, ok, err := c.Get("k")
+	if err != nil {
+		t.Fatalf("Get after stale frame: %v", err)
+	}
+	if !ok || string(v) != "poison" {
+		// The value itself is fine — what matters is it arrived on the
+		// SECOND connection, matched to the request that asked for it.
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if got := srv.conns.Load(); got != 2 {
+		t.Fatalf("server saw %d connections, want 2 (stale id must fail conn 1)", got)
+	}
+}

@@ -1,0 +1,201 @@
+// End-to-end cluster scenario: a 3-node cluster under Zipf load loses a
+// node mid-run (zero client errors), the member is removed, and a fresh
+// node rejoins on the same address. With ghost-driven warm-up the
+// rejoined node takes over its slice already holding the hot keys, so
+// the hit ratio stays near steady state; a cold join pays the misses.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// e2ePhases runs the scenario and returns (steady-state hit ratio
+// before the kill, hit ratio in the window right after the rejoin).
+// Every Get/Set error is fatal: the cluster contract is that node death
+// degrades to misses, never errors.
+func e2ePhases(t *testing.T, warmup bool) (steady, postRejoin float64) {
+	t.Helper()
+	c, nodes := startCluster(t, 3, func(o *Options) {
+		if !warmup {
+			o.WarmupSamples = -1
+		}
+	})
+	const (
+		universe = 2000
+		valSize  = 64
+	)
+	zipf := rand.NewZipf(rand.New(rand.NewSource(42)), 1.2, 1, universe-1)
+	value := make([]byte, valSize)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	// run drives ops ops of get-or-populate load and returns the hit
+	// ratio over the last measure of them.
+	run := func(phase string, ops, measure int) float64 {
+		hits, misses := 0, 0
+		for i := 0; i < ops; i++ {
+			if i == ops-measure {
+				hits, misses = 0, 0
+			}
+			k := fmt.Sprintf("obj-%04d", zipf.Uint64())
+			_, ok, err := c.Get(k)
+			if err != nil {
+				t.Fatalf("%s: Get error (must degrade to miss): %v", phase, err)
+			}
+			if ok {
+				hits++
+				continue
+			}
+			misses++
+			if _, err := c.Set(k, value); err != nil {
+				t.Fatalf("%s: Set error (must degrade to drop): %v", phase, err)
+			}
+		}
+		return float64(hits) / float64(hits+misses)
+	}
+
+	// Phase 1: populate to steady state on 3 nodes.
+	steady = run("steady", 8000, 3000)
+
+	// Phase 2: kill a node mid-run. Its slice degrades to misses; the
+	// load loop re-populates survivors where the ring still points at
+	// them — and fatals on any error.
+	victim := nodes[2]
+	victim.kill()
+	run("node-down", 2000, 2000)
+
+	// Phase 3: take the dead member out of the ring; its slice
+	// redistributes and the survivors absorb it.
+	if err := c.RemoveNode(victim.addr); err != nil {
+		t.Fatal(err)
+	}
+	run("two-nodes", 3000, 3000)
+
+	// Phase 4: the node comes back empty on the same address and
+	// rejoins — warm-up (or not) happens inside AddNode, before the
+	// ring cutover.
+	victim.restart()
+	if err := c.AddNode(victim.addr); err != nil {
+		t.Fatal(err)
+	}
+	if warmup && c.Stats().WarmedKeys == 0 {
+		t.Fatal("warm rejoin copied no keys")
+	}
+
+	// Phase 5: measure the window right after cutover — this is where a
+	// cold joiner's empty slice shows up as misses.
+	postRejoin = run("post-rejoin", 2500, 2500)
+	return steady, postRejoin
+}
+
+// TestClusterE2E is the acceptance scenario: kill-mid-run produces zero
+// client errors, and a warm rejoin holds >=90% of the steady-state hit
+// ratio while beating a cold join.
+func TestClusterE2E(t *testing.T) {
+	warmSteady, warmPost := e2ePhases(t, true)
+	t.Logf("warm join: steady=%.4f post-rejoin=%.4f", warmSteady, warmPost)
+	if warmPost < 0.9*warmSteady {
+		t.Errorf("warm rejoin hit ratio %.4f < 90%% of steady state %.4f", warmPost, warmSteady)
+	}
+	coldSteady, coldPost := e2ePhases(t, false)
+	t.Logf("cold join: steady=%.4f post-rejoin=%.4f", coldSteady, coldPost)
+	if warmPost < coldPost {
+		t.Errorf("warm rejoin (%.4f) did worse than cold join baseline (%.4f)", warmPost, coldPost)
+	}
+}
+
+// TestClusterE2EReplicated re-runs the kill phase with R=2 hot-shard
+// replication: hot keys survive the owner's death on their second
+// replica, so the degraded window's hit ratio stays well above the
+// unreplicated run's.
+func TestClusterE2EReplicated(t *testing.T) {
+	degradedRatio := func(replication int) float64 {
+		c, nodes := startCluster(t, 3, func(o *Options) {
+			o.Replication = replication
+			o.HotThreshold = 2
+		})
+		zipf := rand.NewZipf(rand.New(rand.NewSource(42)), 1.2, 1, 1999)
+		value := make([]byte, 64)
+		load := func(ops int) float64 {
+			hits, total := 0, 0
+			for i := 0; i < ops; i++ {
+				k := fmt.Sprintf("obj-%04d", zipf.Uint64())
+				_, ok, err := c.Get(k)
+				if err != nil {
+					t.Fatalf("Get: %v", err)
+				}
+				if ok {
+					hits++
+				} else if _, err := c.Set(k, value); err != nil {
+					t.Fatalf("Set: %v", err)
+				}
+				total++
+			}
+			return float64(hits) / float64(total)
+		}
+		load(8000) // reach steady state, heat the sketch
+		nodes[0].kill()
+		// Let the breaker trip before measuring the degraded window so
+		// the window reflects routing, not error-retry noise.
+		for i := 0; i < 10; i++ {
+			c.Get("obj-0000")
+		}
+		ratio := load(2500)
+		if replication > 1 && c.Stats().HotGets == 0 {
+			t.Fatal("replication enabled but no hot gets recorded")
+		}
+		return ratio
+	}
+	r1 := degradedRatio(1)
+	r2 := degradedRatio(2)
+	t.Logf("degraded hit ratio: R=1 %.4f, R=2 %.4f", r1, r2)
+	if r2 <= r1 {
+		t.Errorf("R=2 degraded ratio %.4f not better than R=1 %.4f", r2, r1)
+	}
+}
+
+// TestClusterE2EZeroErrorsUnderChurn hammers the router from several
+// goroutines while a node dies and rejoins: no operation may ever
+// surface an error.
+func TestClusterE2EZeroErrorsUnderChurn(t *testing.T) {
+	c, nodes := startCluster(t, 3, nil)
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("churn-%03d", rng.Intn(500))
+				if _, _, err := c.Get(k); err != nil {
+					errs <- err
+					return
+				}
+				if rng.Intn(4) == 0 {
+					if _, err := c.Set(k, []byte("v")); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	time.Sleep(100 * time.Millisecond)
+	nodes[1].kill()
+	time.Sleep(300 * time.Millisecond)
+	nodes[1].restart()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-errs:
+		t.Fatalf("client error under churn: %v", err)
+	default:
+	}
+}

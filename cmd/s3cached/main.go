@@ -77,6 +77,8 @@ func main() {
 	connTimeout := flag.Duration("conn-timeout", 0, "per-connection idle/write deadline (0 disables)")
 	protoMode := flag.String("proto", "auto",
 		"wire protocols to accept: auto (per-connection detection), text, binary")
+	nodeID := flag.String("node-id", "",
+		"cluster node identity surfaced in stats, /stats, and /healthz (default: the listen address)")
 	slowOp := flag.Duration("slow-op", 0, "log cache operations at or above this duration (0 disables; times every op)")
 	flag.Parse()
 	// Flag semantics: 0 disables. Config semantics: 0 means default,
@@ -87,6 +89,9 @@ func main() {
 	}
 	if *adminAddr == "" {
 		*adminAddr = *httpAddr
+	}
+	if *nodeID == "" {
+		*nodeID = *addr
 	}
 
 	// The registry exists only when something will scrape it; with no
@@ -120,7 +125,8 @@ func main() {
 	srv := server.New(c,
 		server.WithMaxConns(*maxConns),
 		server.WithConnTimeout(*connTimeout),
-		server.WithProtocol(*protoMode))
+		server.WithProtocol(*protoMode),
+		server.WithNodeID(*nodeID))
 	if *adminAddr != "" {
 		srv.RegisterMetrics(reg)
 		handler := server.AdminHandler(srv, reg)

@@ -70,6 +70,30 @@ type engineSweep struct {
 	Rows          []engineRow `json:"rows"`
 }
 
+// clusterRow is one (nodes, replication) cluster-router measurement.
+type clusterRow struct {
+	Nodes       int     `json:"nodes"`
+	Replication int     `json:"replication"`
+	Kops        float64 `json:"kops"`
+	HitRatio    float64 `json:"hit_ratio"`
+	HotGets     uint64  `json:"hot_gets"`
+	ReadRepairs uint64  `json:"read_repairs"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	P999Ns      int64   `json:"p999_ns"`
+}
+
+// clusterFile is the BENCH_cluster.json layout: the cluster-router sweep
+// at fixed total capacity.
+type clusterFile struct {
+	Objects       int          `json:"objects"`
+	Ops           int          `json:"ops"`
+	Workers       int          `json:"workers"`
+	PipelineDepth int          `json:"pipeline_depth"`
+	Note          string       `json:"note"`
+	Rows          []clusterRow `json:"rows"`
+}
+
 // openLoopRow is one (protocol, offered rate) latency-under-load point.
 type openLoopRow struct {
 	Proto    string  `json:"proto"`
@@ -148,6 +172,10 @@ func main() {
 	openLoop := flag.Bool("openloop", true, "measure latency under fixed offered load per protocol")
 	openLoopRates := flag.String("openloop-rates", "5000,20000,50000", "offered loads (req/s) for the open-loop curves")
 	openLoopSecs := flag.Float64("openloop-secs", 3, "seconds per open-loop point")
+	clusterNodes := flag.String("cluster-nodes", "1,3", "node counts for the cluster-router sweep (empty disables)")
+	clusterRepl := flag.String("cluster-repl", "1,2", "hot-shard replication factors for the cluster sweep")
+	clusterWorkers := flag.Int("cluster-workers", 8, "concurrent driver goroutines in the cluster sweep")
+	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "write the cluster sweep as JSON to this path (empty disables)")
 	overhead := flag.Bool("overhead", true, "measure telemetry overhead (live registry vs nil) through the cache facade")
 	overheadOnly := flag.Bool("overhead-only", false, "run only the telemetry-overhead measurement")
 	overheadOps := flag.Int("overhead-ops", 1_000_000, "operations per telemetry-overhead run")
@@ -267,6 +295,54 @@ func main() {
 		}
 		out.OpenLoop = section
 		fmt.Println()
+	}
+	if *clusterNodes != "" && !*overheadOnly {
+		fmt.Println("==== cluster router (fixed total capacity, consistent hashing) ====")
+		rows, err := harness.ClusterSweep(harness.ClusterSweepConfig{
+			Objects:       *serverObjects,
+			Ops:           *serverOps,
+			NodeCounts:    parseInts("cluster-nodes", *clusterNodes),
+			Replications:  parseInts("cluster-repl", *clusterRepl),
+			Workers:       *clusterWorkers,
+			PipelineDepth: *pipelineDepth,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		cf := clusterFile{
+			Objects: *serverObjects, Ops: *serverOps,
+			Workers: *clusterWorkers, PipelineDepth: *pipelineDepth,
+			Note: "get-or-set Zipf α=1.0 through the cluster router over loopback; " +
+				"total capacity objects/10 split evenly across nodes; R>1 replicates " +
+				"sketch-detected hot keys; latency sampled 1-in-16",
+		}
+		fmt.Println("nodes   R   Kops/s   hit-ratio   hot-gets  repairs      p50      p99     p999")
+		for _, r := range rows {
+			fmt.Printf("%5d %3d  %7.1f  %.4f  %9d %8d  %8v %8v %8v\n",
+				r.Nodes, r.Replication, r.Kops(), r.HitRatio(), r.HotGets,
+				r.ReadRepairs, r.P50(), r.P99(), r.P999())
+			cf.Rows = append(cf.Rows, clusterRow{
+				Nodes: r.Nodes, Replication: r.Replication, Kops: r.Kops(),
+				HitRatio: r.HitRatio(), HotGets: r.HotGets, ReadRepairs: r.ReadRepairs,
+				P50Ns: r.P50().Nanoseconds(), P99Ns: r.P99().Nanoseconds(),
+				P999Ns: r.P999().Nanoseconds(),
+			})
+		}
+		fmt.Println()
+		if *clusterJSON != "" {
+			buf, err := json.MarshalIndent(cf, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "throughput:", err)
+				os.Exit(1)
+			}
+			buf = append(buf, '\n')
+			if err := os.WriteFile(*clusterJSON, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "throughput:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d rows)\n", *clusterJSON, len(cf.Rows))
+		}
 	}
 	if *overhead {
 		fmt.Println("==== telemetry overhead (facade, concurrent engine, 1 thread) ====")

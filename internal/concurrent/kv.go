@@ -2,6 +2,7 @@ package concurrent
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -657,6 +658,47 @@ func (c *KV) Queues() QueueStats {
 		s.mu.Unlock()
 	}
 	return qs
+}
+
+// HotKey is one entry of SampleHot's export: a resident key and its
+// access-frequency counter at sampling time.
+type HotKey struct {
+	Key  string
+	Freq int
+}
+
+// SampleHot returns up to max resident, unexpired keys ordered by
+// descending frequency — the node's best guess at its hot working set,
+// exported to cluster warm-up via the KEYS command. To bound the cost on
+// large caches the walk stops after scanning 8×max entries; the index
+// walk order is hash order, so the scanned prefix is an unbiased sample
+// and sorting it surfaces the hot keys that matter. Scrape-time only.
+func (c *KV) SampleHot(max int) []HotKey {
+	if max <= 0 {
+		return nil
+	}
+	scanBudget := max * 8
+	out := make([]HotKey, 0, max)
+	nowNanos := c.now()
+	c.index.forEach(func(e *kentry) bool {
+		if scanBudget <= 0 {
+			return false
+		}
+		scanBudget--
+		if e.dead.Load() {
+			return true
+		}
+		if exp := e.expires.Load(); exp != 0 && nowNanos > exp {
+			return true
+		}
+		out = append(out, HotKey{Key: e.key, Freq: int(e.freq.Load())})
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Freq > out[j].Freq })
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
 }
 
 // Range visits every resident, unexpired entry under the index's

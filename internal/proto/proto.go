@@ -59,6 +59,7 @@ const (
 	OpDelete Op = 3 // key; response OK or Miss
 	OpStats  Op = 4 // no key; response OK with "STAT <name> <value>" lines as the value
 	OpPing   Op = 5 // no key; response OK (liveness / latency probe)
+	OpKeys   Op = 6 // no key; TTL field = max samples; response OK with "KEY <freq> <key>" lines
 )
 
 // String returns the opcode's wire-protocol name.
@@ -74,6 +75,8 @@ func (o Op) String() string {
 		return "stats"
 	case OpPing:
 		return "ping"
+	case OpKeys:
+		return "keys"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -148,7 +151,9 @@ func ParseRequestHeader(b []byte) (RequestHeader, error) {
 		if h.KeyLen == 0 {
 			return RequestHeader{}, ErrBadFrame
 		}
-	case OpStats, OpPing:
+	case OpStats, OpPing, OpKeys:
+		// OpKeys reuses the TTL field as the max-samples count; like the
+		// other keyless ops it carries no key or value bytes.
 		if h.KeyLen != 0 || h.ValueLen != 0 {
 			return RequestHeader{}, ErrBadFrame
 		}

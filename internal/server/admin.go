@@ -33,8 +33,18 @@ func AdminHandler(s *Server, reg *telemetry.Registry) http.Handler {
 		// 200 (restarting the process would not help and would drop the
 		// DRAM working set too); the body flags the degradation for
 		// humans and log scrapers.
+		// With a node identity configured the body carries it, so cluster
+		// tooling probing many nodes can confirm which one answered.
 		if s.cache.FlashDegraded() {
+			if s.nodeID != "" {
+				w.Write([]byte("degraded: flash breaker open node_id=" + s.nodeID + "\n"))
+				return
+			}
 			w.Write([]byte("degraded: flash breaker open\n"))
+			return
+		}
+		if s.nodeID != "" {
+			w.Write([]byte("ok node_id=" + s.nodeID + "\n"))
 			return
 		}
 		w.Write([]byte("ok\n"))
@@ -52,7 +62,7 @@ func AdminHandler(s *Server, reg *telemetry.Registry) http.Handler {
 func (s *Server) statsJSON() map[string]any {
 	c := s.cache
 	st := c.Stats()
-	return map[string]any{
+	out := map[string]any{
 		"engine": c.Engine(),
 		"hits":   st.Hits, "misses": st.Misses, "sets": st.Sets,
 		"evictions": st.Evictions, "expired": st.Expired,
@@ -80,4 +90,8 @@ func (s *Server) statsJSON() map[string]any {
 		"cmd_set":                s.cmdSet.Load(),
 		"cmd_delete":             s.cmdDelete.Load(),
 	}
+	if s.nodeID != "" {
+		out["node_id"] = s.nodeID
+	}
+	return out
 }

@@ -131,6 +131,17 @@ func (s *Server) dispatchBinary(r *bufio.Reader, w *bufio.Writer, bc *binConn) (
 
 	case proto.OpPing:
 		s.binRespond(w, bc, proto.StatusOK, h.ID, nil)
+
+	case proto.OpKeys:
+		// The TTL field carries the max-samples count (0 = default).
+		max := int(h.TTL)
+		if max <= 0 {
+			max = defaultKeysMax
+		}
+		s.cmdKeys.Add(1)
+		var buf bytes.Buffer
+		s.writeKeys(&buf, max)
+		s.binRespond(w, bc, proto.StatusOK, h.ID, buf.Bytes())
 	}
 	return false
 }

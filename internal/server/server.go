@@ -72,6 +72,7 @@ type Server struct {
 	maxConns    int
 	connTimeout time.Duration
 	protoMode   string // "" or "auto", "text", "binary" (see WithProtocol)
+	nodeID      string // cluster identity label; "" = unset (see WithNodeID)
 
 	// Protocol-level counters: total connections ever accepted and
 	// dispatched commands by verb (only well-formed commands count).
@@ -84,6 +85,7 @@ type Server struct {
 	cmdGet        atomic.Uint64
 	cmdSet        atomic.Uint64
 	cmdDelete     atomic.Uint64
+	cmdKeys       atomic.Uint64
 	binGet        atomic.Uint64
 	binSet        atomic.Uint64
 	binDelete     atomic.Uint64
@@ -118,6 +120,15 @@ func WithConnTimeout(d time.Duration) Option {
 // Unknown modes fall back to "auto".
 func WithProtocol(mode string) Option {
 	return func(s *Server) { s.protoMode = mode }
+}
+
+// WithNodeID labels this server with a cluster node identity (typically
+// its advertised host:port). The label is surfaced as "STAT node_id" in
+// stats, in the admin /stats JSON, and on /healthz, so cluster tooling
+// can confirm it is talking to the node it thinks it is. Empty (the
+// default) omits the label everywhere.
+func WithNodeID(id string) Option {
+	return func(s *Server) { s.nodeID = id }
 }
 
 // New returns a server around c.
@@ -509,6 +520,25 @@ func (s *Server) dispatch(tc *textConn, r *bufio.Reader, w *bufio.Writer, line s
 		w.WriteString("END\r\n")
 		return false, nil
 
+	case "keys":
+		// keys [max]: export up to max resident keys with their access
+		// frequencies, hottest first — the cluster warm-up feed.
+		max := defaultKeysMax
+		if len(fields) > 2 {
+			return false, protoErr(w, "usage: keys [max]")
+		}
+		if len(fields) == 2 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return false, protoErr(w, "bad max")
+			}
+			max = n
+		}
+		s.cmdKeys.Add(1)
+		s.writeKeys(w, max)
+		w.WriteString("END\r\n")
+		return false, nil
+
 	case "quit":
 		return true, nil
 
@@ -567,11 +597,35 @@ func (s *Server) memcachedSet(r *bufio.Reader, w *bufio.Writer, fields []string)
 	return false, nil
 }
 
+// Key-export bounds: "keys" with no argument samples defaultKeysMax
+// entries; any request is clamped to maxKeysMax so one command cannot
+// make the server sort millions of keys.
+const (
+	defaultKeysMax = 1024
+	maxKeysMax     = 65536
+)
+
+// writeKeys renders the KEY lines for the keys command (without the END
+// terminator — the text path appends it, the binary path ships the lines
+// as a payload). One line per sampled key: "KEY <freq> <key>", hottest
+// first when the engine tracks frequency.
+func (s *Server) writeKeys(w io.Writer, max int) {
+	if max > maxKeysMax {
+		max = maxKeysMax
+	}
+	for _, ks := range s.cache.Sample(max) {
+		fmt.Fprintf(w, "KEY %d %s\r\n", ks.Freq, ks.Key)
+	}
+}
+
 // writeStats renders the STAT lines (without the END terminator — the
 // text path appends it, the binary path ships the lines as a payload).
 func (s *Server) writeStats(w io.Writer) {
 	st := s.cache.Stats()
 	fmt.Fprintf(w, "STAT engine %s\r\n", s.cache.Engine())
+	if s.nodeID != "" {
+		fmt.Fprintf(w, "STAT node_id %s\r\n", s.nodeID)
+	}
 	fmt.Fprintf(w, "STAT hits %d\r\n", st.Hits)
 	fmt.Fprintf(w, "STAT misses %d\r\n", st.Misses)
 	fmt.Fprintf(w, "STAT sets %d\r\n", st.Sets)
