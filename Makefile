@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-flash test-cluster tier1 bench bench-allocs bench-overhead throughput flashbench
+.PHONY: all build vet test test-race test-flash test-cluster test-tier tier1 bench bench-allocs bench-overhead throughput flashbench
 
 all: tier1
 
@@ -29,6 +29,15 @@ test-race:
 test-flash:
 	$(GO) test -race ./internal/faultfs/... ./internal/flash/... ./cache/... ./client/... .
 
+# Race-detector pass over the pluggable second-tier seam: every Tier
+# implementation behind the one interface — the log-structured flash
+# store, the bucketed file tier, and the remote (peer-server) tier — plus
+# the breaker/degradation tests parameterized across all of them, the
+# tier-parameterized end-to-end integration suite, and the warm-restart
+# snapshot machinery (Save/Close race included).
+test-tier:
+	$(GO) test -race ./internal/filetier/... ./internal/flash/... ./cache/... .
+
 # Race-detector pass over cluster mode: the consistent-hash ring's
 # property tests and the router (per-node breakers probing in the
 # background, membership changes, replicated reads repairing) driven
@@ -40,7 +49,7 @@ test-cluster:
 # Tier-1 verification: everything must build and vet clean, the full
 # suite must pass, and the concurrent + tiered + cluster paths must be
 # race-clean.
-tier1: build vet test test-race test-flash test-cluster
+tier1: build vet test test-race test-flash test-tier test-cluster
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

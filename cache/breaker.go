@@ -1,32 +1,34 @@
-// The flash circuit breaker: graceful degradation when the disk under
-// the flash tier misbehaves. A cache must never let a sick device take
-// down serving — flash is an optimization, DRAM is the product — so
-// after a run of consecutive flash I/O errors the tier trips into
-// degraded, DRAM-only mode: demotions are dropped (counted, not
-// retried), flash reads are bypassed, and a background prober retries
-// the device with exponential backoff until it answers again.
+// The second-tier circuit breaker: graceful degradation when the
+// backend under the tier misbehaves. A cache must never let a sick
+// device (or peer) take down serving — the second tier is an
+// optimization, DRAM is the product — so after a run of consecutive
+// tier I/O errors the cache trips into degraded, DRAM-only mode:
+// demotions are dropped (counted, not retried), tier reads are
+// bypassed, and a background prober retries the backend with
+// exponential backoff until it answers again. The breaker is generic
+// over the Tier interface (tier.go): the same machinery guards the
+// flash store, the file tier, and a remote peer.
 //
 // Consistency across the outage is the subtle part. While degraded, a
-// Set or Delete cannot tombstone the key's flash copy (that would hammer
-// the dead disk), so the superseded copy stays in the flash index and
+// Set or Delete cannot tombstone the key's tier copy (that would hammer
+// the dead backend), so the superseded copy stays in the tier and
 // would serve a stale value after recovery. The breaker therefore
 // remembers every key written or deleted while degraded in a bounded
 // dirty set and tombstones them all before closing the circuit; if the
-// outage outlives the bound, it wipes the flash store instead — flash
-// holds only cached copies, so wiping trades hit ratio for guaranteed
-// consistency. Flash reads stay bypassed until this cleanup completes,
-// so a stale copy is never observable. (A crash in the middle of a
-// degraded window can still resurrect a superseded flash record on
-// restart, because the tombstones could not be written; DESIGN.md §10
-// spells out this bounded durability gap.)
+// outage outlives the bound, it wipes the tier instead (Tier.Reset) —
+// the tier holds only cached copies, so wiping trades hit ratio for
+// guaranteed consistency. Tier reads stay bypassed until this cleanup
+// completes, so a stale copy is never observable. (A crash in the
+// middle of a degraded window can still resurrect a superseded tier
+// record on restart, because the tombstones could not be written;
+// DESIGN.md §10 spells out this bounded durability gap.)
 package cache
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"s3fifo/internal/flash"
 )
 
 const (
@@ -41,11 +43,11 @@ const (
 	maxDirtyKeys = 1 << 16
 )
 
-// breaker is the flash tier's circuit breaker. All entry points are safe
-// for concurrent use; the hot-path cost while the circuit is closed is
-// one atomic load (available) or store (note success).
+// breaker is the second tier's circuit breaker. All entry points are
+// safe for concurrent use; the hot-path cost while the circuit is closed
+// is one atomic load (available) or store (note success).
 type breaker struct {
-	store     *flash.Store
+	tier      Tier
 	enabled   bool          // false: errors are counted but never trip
 	threshold uint64        // consecutive errors that trip the circuit
 	retryMin  time.Duration // first probe delay after a trip
@@ -53,7 +55,7 @@ type breaker struct {
 
 	degraded    atomic.Bool
 	consecutive atomic.Uint64
-	errors      atomic.Uint64 // every flash I/O error observed, incl. probes
+	errors      atomic.Uint64 // every tier I/O error observed, incl. probes
 	trips       atomic.Uint64
 	restores    atomic.Uint64
 
@@ -65,12 +67,12 @@ type breaker struct {
 	wg            sync.WaitGroup
 }
 
-// newBreaker builds the breaker for store from the facade config.
+// newBreaker builds the breaker for tier from the facade config.
 // threshold semantics: 0 = default, negative = disabled (errors are
 // still counted for telemetry, but the cache never degrades).
-func newBreaker(store *flash.Store, threshold int, retryMin, retryMax time.Duration) *breaker {
+func newBreaker(tier Tier, threshold int, retryMin, retryMax time.Duration) *breaker {
 	b := &breaker{
-		store:    store,
+		tier:     tier,
 		enabled:  threshold >= 0,
 		retryMin: retryMin,
 		retryMax: retryMax,
@@ -94,16 +96,20 @@ func newBreaker(store *flash.Store, threshold int, retryMin, retryMax time.Durat
 	return b
 }
 
-// available reports whether the flash tier should be used: one atomic
-// load on every flash-adjacent operation.
+// available reports whether the second tier should be used: one atomic
+// load on every tier-adjacent operation.
 func (b *breaker) available() bool { return !b.degraded.Load() }
 
-// note records the outcome of one flash disk operation. A success closes
-// the consecutive-error window; the threshold'th consecutive error trips
-// the circuit.
+// note records the outcome of one tier backend operation. A success
+// closes the consecutive-error window; the threshold'th consecutive
+// error trips the circuit. ErrEntryTooLarge is a per-entry decline, not
+// a health signal, and is ignored.
 func (b *breaker) note(err error) {
 	if err == nil {
 		b.consecutive.Store(0)
+		return
+	}
+	if errors.Is(err, ErrEntryTooLarge) {
 		return
 	}
 	b.errors.Add(1)
@@ -175,11 +181,12 @@ func (b *breaker) retryLoop() {
 				backoff = b.retryMax
 			}
 		}
-		// The probe: sync the active segment. It exercises the same
-		// durability path sealing and Close depend on; a disk that fails
-		// only on writes will pass the probe and re-trip on the next
-		// demotion, which the backoff reset makes a slow, bounded flap.
-		if err := b.store.Sync(); err != nil {
+		// The probe: Tier.Sync (the flash store syncs its active segment,
+		// the remote tier pings its peer). It exercises real backend I/O;
+		// a backend that fails only on writes will pass the probe and
+		// re-trip on the next demotion, which the backoff reset makes a
+		// slow, bounded flap.
+		if err := b.tier.Sync(); err != nil {
 			b.errors.Add(1)
 			continue
 		}
@@ -189,7 +196,7 @@ func (b *breaker) retryLoop() {
 	}
 }
 
-// restore drains the dirty set (or wipes the store after overflow) and
+// restore drains the dirty set (or wipes the tier after overflow) and
 // closes the circuit. It returns false when disk errors interrupt the
 // sweep — the caller goes back to backoff with the remaining dirty keys
 // intact.
@@ -202,12 +209,12 @@ func (b *breaker) restore() bool {
 		}
 		if b.dirtyOverflow {
 			b.mu.Unlock()
-			if err := b.store.Reset(); err != nil {
+			if err := b.tier.Reset(); err != nil {
 				b.errors.Add(1)
 				return false
 			}
 			b.mu.Lock()
-			// Everything on flash is gone, so every superseded copy is
+			// Everything in the tier is gone, so every superseded copy is
 			// gone with it; keys dirtied while Reset ran are clean too.
 			b.dirtyOverflow = false
 			b.dirty = nil
@@ -227,7 +234,7 @@ func (b *breaker) restore() bool {
 		}
 		b.mu.Unlock()
 		for _, k := range keys {
-			if _, err := b.store.Delete(k); err != nil {
+			if _, err := b.tier.Delete(k); err != nil {
 				b.errors.Add(1)
 				return false // k stays dirty; retried after backoff
 			}
@@ -239,8 +246,8 @@ func (b *breaker) restore() bool {
 }
 
 // close stops the background prober and waits for it to exit. Called by
-// Cache.Close before the store is closed, so the prober can never touch
-// a closed store.
+// Cache.Close before the tier is closed, so the prober can never touch
+// a closed backend.
 func (b *breaker) close() {
 	b.mu.Lock()
 	if b.closed {

@@ -78,14 +78,32 @@ type Config struct {
 	// Set returns.
 	OnEvict func(key string, value []byte)
 
+	// Tier selects the second-tier backend under DRAM: "flash" (the
+	// log-structured segment store, internal/flash), "file" (the bucketed
+	// file-persist store, internal/filetier), or "remote" (a peer
+	// s3cached node over the binary protocol). Empty infers "remote" when
+	// TierAddr is set, "flash" when FlashDir is, else no second tier. See
+	// Tiers for the list and tier.go for the contract.
+	Tier string
+	// TierAddr is the peer address for the "remote" tier.
+	TierAddr string
+	// SecondTier, when non-nil, is an explicit Tier instance to use
+	// instead of constructing one from Tier/FlashDir/TierAddr. The cache
+	// takes ownership (Close closes it). Mutually exclusive with Tier;
+	// intended for tests and embedders with custom backends.
+	SecondTier Tier
+
 	// FlashDir, when non-empty, adds a flash tier: a log-structured
 	// on-disk store (internal/flash) holding entries demoted from DRAM.
 	// Flash hits transparently promote back into DRAM. The directory is
 	// created if missing; reopening a cache with the same directory
-	// recovers the flash contents (checksummed segment scan).
+	// recovers the flash contents (manifest fast path after a clean
+	// shutdown, checksummed segment scan otherwise). The "file" tier
+	// reuses FlashDir as its directory.
 	FlashDir string
-	// FlashBytes caps the flash tier's on-disk footprint. Required when
-	// FlashDir is set.
+	// FlashBytes caps the on-disk second tier's footprint. Required for
+	// the "flash" and "file" tiers; for "remote" it is only the ghost
+	// admission policy's sizing hint (default 256 MiB).
 	FlashBytes uint64
 	// FlashSegmentBytes overrides the flash segment file size (default
 	// 4 MiB; see flash.Options).
@@ -141,9 +159,19 @@ type Stats struct {
 	Evictions uint64
 	Expired   uint64
 
-	// Per-tier breakdown; all flash fields are zero without a flash tier.
+	// Per-tier breakdown; all flash fields are zero without a second
+	// tier. The Flash* names are historical — they describe whichever
+	// tier kind is configured (TierKind says which).
 	DRAMHits  uint64
 	FlashHits uint64
+	// TierKind is the active second tier's kind ("flash", "file",
+	// "remote", ...), empty without one.
+	TierKind string
+	// SnapshotUnixNano is the save time of the snapshot this cache was
+	// restored from (see Load/LoadFile), or of the last Save; 0 when
+	// neither has happened. The admin surface derives snapshot age from
+	// it.
+	SnapshotUnixNano int64
 	// Demotions counts DRAM evictions written to flash;
 	// DemotionsDeclined those the admission policy rejected.
 	Demotions         uint64
@@ -184,9 +212,20 @@ func (s Stats) HitRatio() float64 {
 // New; call Close when a flash tier is configured.
 type Cache struct {
 	engine  Engine
-	flash   *flashTier // nil without a flash tier
+	tier    *secondTier // nil without a second tier
 	onEvict func(key string, value []byte)
 	metrics *cacheMetrics // nil unless Config.Metrics or SlowOpThreshold
+
+	// closeMu makes Close mutually exclusive with snapshot Save: Save
+	// holds it shared for the duration of its engine walk, Close takes it
+	// exclusively before tearing the tier down, and Save after Close
+	// returns ErrClosed instead of racing a closing store.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// snapshotAt is the save time (unix nanoseconds) of the snapshot this
+	// cache was restored from, or of the last Save; 0 when neither.
+	snapshotAt atomic.Int64
 
 	// Deferred OnEvict deliveries: engines report evictions under their
 	// internal locks, so callbacks queue here and drain lock-free.
@@ -221,15 +260,15 @@ func New(cfg Config) (*Cache, error) {
 		return nil, fmt.Errorf("cache: MaxBytes must be positive")
 	}
 	c := &Cache{onEvict: cfg.OnEvict}
-	tier, err := newFlashTier(cfg)
+	tier, err := newSecondTier(cfg)
 	if err != nil {
 		return nil, err
 	}
-	c.flash = tier
+	c.tier = tier
 
 	// The engine gets an eviction hook only when someone listens: the
-	// flash tier (demotion point) or the user's OnEvict. The hook runs
-	// under engine locks — it demotes inline (flash has its own lock,
+	// second tier (demotion point) or the user's OnEvict. The hook runs
+	// under engine locks — it demotes inline (the tier has its own lock,
 	// ordered strictly after the engine's) and defers user callbacks.
 	var hook func(EngineEviction)
 	if tier != nil || cfg.OnEvict != nil {
@@ -238,7 +277,7 @@ func New(cfg Config) (*Cache, error) {
 	eng, err := newEngine(cfg, hook)
 	if err != nil {
 		if tier != nil {
-			tier.store.Close()
+			tier.t.Close()
 		}
 		return nil, err
 	}
@@ -249,21 +288,39 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
-// Close releases the flash tier (stopping the breaker's background
-// prober, then syncing the active segment). It is a no-op for a
-// DRAM-only cache, which needs no Close.
+// Close releases the second tier (stopping the breaker's background
+// prober, then closing the backend — the flash tier syncs its active
+// segment and writes its index manifest for the next Open's fast
+// recovery). Close excludes any in-flight snapshot Save (it waits for
+// Saves to finish; Saves started after return ErrClosed). Closing a
+// DRAM-only cache is a harmless no-op beyond marking it closed.
 func (c *Cache) Close() error {
-	if c.flash == nil {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	if c.closed {
 		return nil
 	}
-	c.flash.br.close()
-	return c.flash.store.Close()
+	c.closed = true
+	if c.tier == nil {
+		return nil
+	}
+	c.tier.br.close()
+	return c.tier.t.Close()
 }
 
-// FlashDegraded reports whether the flash tier is currently degraded
-// (breaker open, serving DRAM-only). Always false without a flash tier.
+// FlashDegraded reports whether the second tier is currently degraded
+// (breaker open, serving DRAM-only). Always false without one.
 func (c *Cache) FlashDegraded() bool {
-	return c.flash != nil && !c.flash.available()
+	return c.tier != nil && !c.tier.available()
+}
+
+// TierKind returns the active second tier's kind ("flash", "file",
+// "remote", ...), or "" without one.
+func (c *Cache) TierKind() string {
+	if c.tier == nil {
+		return ""
+	}
+	return c.tier.t.Kind()
 }
 
 // Engine returns the name of the serving engine ("policy" or
@@ -276,8 +333,8 @@ func (c *Cache) Engine() string { return c.engine.Name() }
 // while user callbacks are queued and drained later with no locks held.
 func (c *Cache) noteEviction(ev EngineEviction) {
 	demoted := false
-	if c.flash != nil && !ev.expired() {
-		demoted = c.flash.demote(ev)
+	if c.tier != nil && !ev.expired() {
+		demoted = c.tier.demote(ev)
 	}
 	if c.onEvict != nil && !demoted {
 		c.evictMu.Lock()
@@ -344,18 +401,22 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		}
 		return v, true
 	}
-	if c.flash == nil || !c.flash.available() {
-		// No flash tier, or the tier is degraded: a degraded tier is
+	if c.tier == nil || !c.tier.available() {
+		// No second tier, or the tier is degraded: a degraded tier is
 		// bypassed entirely — its index may hold copies superseded during
-		// the outage, and the disk under it is presumed sick.
+		// the outage, and the backend under it is presumed sick.
 		c.misses.Add(1)
 		if !start.IsZero() {
 			c.metrics.end("get", key, start, "miss")
 		}
 		return nil, false
 	}
-	// Flash lookup runs outside any engine lock: it is disk I/O.
-	v, expires, ok := c.flash.store.Get(key)
+	// The tier lookup runs outside any engine lock: it is disk or
+	// network I/O. Its outcome feeds the breaker — a run of read errors
+	// (a dead disk, an unreachable peer) must trip degraded mode even if
+	// no demotion happens to be in flight.
+	v, expires, ok, err := c.tier.t.Get(key)
+	c.tier.br.note(err)
 	if !ok {
 		c.misses.Add(1)
 		if !start.IsZero() {
@@ -405,15 +466,15 @@ func (c *Cache) set(key string, value []byte, expiresAt int64) bool {
 		start = time.Now()
 	}
 	ok := c.engine.Set(key, value, expiresAt)
-	if c.flash != nil {
+	if c.tier != nil {
 		if expiresAt == 0 {
-			c.flash.onSet(key, hashString(key), value, ok)
+			c.tier.onSet(key, hashString(key), value, ok)
 		} else {
-			// A TTL'd value never writes through; tombstone any stale flash
-			// copy so flash cannot serve past the expiry, even after a
-			// restart. A later demotion carries the TTL into the flash
+			// A TTL'd value never writes through; tombstone any stale tier
+			// copy so the tier cannot serve past the expiry, even after a
+			// restart. A later demotion carries the TTL into the tier
 			// record.
-			c.flash.invalidate(key)
+			c.tier.invalidate(key)
 		}
 	}
 	c.drainEvictions()
@@ -431,8 +492,8 @@ func (c *Cache) Delete(key string) {
 		start = time.Now()
 	}
 	c.engine.Delete(key)
-	if c.flash != nil {
-		c.flash.invalidate(key)
+	if c.tier != nil {
+		c.tier.invalidate(key)
 	}
 	if !start.IsZero() {
 		c.metrics.end("delete", key, start, "dram")
@@ -445,8 +506,8 @@ func (c *Cache) Contains(key string) bool {
 	if c.engine.Contains(key) {
 		return true
 	}
-	if c.flash != nil && c.flash.available() {
-		return c.flash.store.Contains(key)
+	if c.tier != nil && c.tier.available() {
+		return c.tier.t.Contains(key)
 	}
 	return false
 }
@@ -478,22 +539,24 @@ func (c *Cache) Stats() Stats {
 	out.Evictions = c.engine.Evictions()
 	out.Expired = c.engine.Expired()
 	out.Hits = out.DRAMHits
-	if c.flash != nil {
-		fst := c.flash.store.Stats()
-		out.FlashHits = fst.Hits
-		out.Hits += fst.Hits
-		out.Demotions = atomic.LoadUint64(&c.flash.demoted)
-		out.DemotionsDeclined = atomic.LoadUint64(&c.flash.declined)
+	out.SnapshotUnixNano = c.snapshotAt.Load()
+	if c.tier != nil {
+		tst := c.tier.t.Stats()
+		out.TierKind = c.tier.t.Kind()
+		out.FlashHits = tst.Hits
+		out.Hits += tst.Hits
+		out.Demotions = atomic.LoadUint64(&c.tier.demoted)
+		out.DemotionsDeclined = atomic.LoadUint64(&c.tier.declined)
 		out.Promotions = c.promotions.Load()
-		out.FlashBytesWritten = fst.BytesWritten
-		out.FlashGCBytes = fst.GCBytes
-		out.FlashSegments = uint64(c.flash.store.Segments())
-		out.FlashEntries = uint64(c.flash.store.Len())
-		out.FlashErrors = c.flash.br.errors.Load()
-		out.FlashDegraded = !c.flash.available()
-		out.FlashBreakerTrips = c.flash.br.trips.Load()
-		out.FlashBreakerRestores = c.flash.br.restores.Load()
-		out.DemotionsDegraded = atomic.LoadUint64(&c.flash.dropped)
+		out.FlashBytesWritten = tst.BytesWritten
+		out.FlashGCBytes = tst.GCBytes
+		out.FlashSegments = tst.Segments
+		out.FlashEntries = tst.Entries
+		out.FlashErrors = c.tier.br.errors.Load()
+		out.FlashDegraded = !c.tier.available()
+		out.FlashBreakerTrips = c.tier.br.trips.Load()
+		out.FlashBreakerRestores = c.tier.br.restores.Load()
+		out.DemotionsDegraded = atomic.LoadUint64(&c.tier.dropped)
 	}
 	return out
 }

@@ -65,6 +65,47 @@ type Engine interface {
 	// arbitrary resident sample. Like Range it may observe concurrent
 	// mutation; it is a scrape-time operation, not a hot-path one.
 	Sample(max int) []KeySample
+	// SnapshotMeta exports the engine's full eviction state — resident
+	// entries with queue membership and frequency, plus ghost-queue
+	// fingerprints — in an order RestoreMeta can replay (per queue,
+	// FIFO-oldest first). fn returning false stops the walk. Engines
+	// without S3-FIFO structure export what they have (entries as
+	// MetaMain, Freq 0, no ghost records); see each engine's notes.
+	SnapshotMeta(fn func(MetaRecord) bool)
+	// RestoreMeta rebuilds eviction state from a SnapshotMeta export,
+	// on a freshly constructed, empty engine. Records the engine cannot
+	// represent (e.g. ghost fingerprints on a non-S3-FIFO policy) are
+	// dropped. Entries that no longer fit evict as live inserts would.
+	RestoreMeta(next func() (MetaRecord, bool))
+}
+
+// MetaQueue says which S3-FIFO queue a snapshot entry was resident in.
+type MetaQueue uint8
+
+const (
+	MetaSmall MetaQueue = 0
+	MetaMain  MetaQueue = 1
+)
+
+// MetaRecord is one record of an engine's metadata snapshot: either a
+// resident entry (with value, TTL, queue membership, and frequency) or
+// one ghost-queue fingerprint (with the owning shard's index). The
+// snapshot v2 file format (snapshot.go) serializes these records
+// verbatim.
+type MetaRecord struct {
+	// Ghost distinguishes the two record kinds.
+	Ghost bool
+
+	// Entry fields (Ghost false).
+	Key       string
+	Value     []byte
+	ExpiresAt int64
+	Freq      int
+	Queue     MetaQueue
+
+	// Ghost fields (Ghost true).
+	Shard       uint32
+	Fingerprint uint32
 }
 
 // KeySample is one entry of an engine's hot-key export: the key and its

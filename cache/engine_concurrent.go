@@ -88,6 +88,47 @@ func (e *concurrentEngine) Sample(max int) []KeySample {
 	return out
 }
 
+// SnapshotMeta exports the KV's full S3-FIFO state: queue membership,
+// per-entry frequency, and ghost fingerprints.
+func (e *concurrentEngine) SnapshotMeta(fn func(MetaRecord) bool) {
+	e.kv.SnapshotMeta(func(r concurrent.MetaRecord) bool {
+		out := MetaRecord{
+			Ghost:       r.Ghost,
+			Key:         r.Key,
+			Value:       r.Value,
+			ExpiresAt:   r.ExpiresAt,
+			Freq:        r.Freq,
+			Shard:       r.Shard,
+			Fingerprint: r.Fingerprint,
+		}
+		if r.Main {
+			out.Queue = MetaMain
+		}
+		return fn(out)
+	})
+}
+
+// RestoreMeta replays a metadata export into the KV, rebuilding queue
+// positions, frequencies, and the ghost queues.
+func (e *concurrentEngine) RestoreMeta(next func() (MetaRecord, bool)) {
+	e.kv.RestoreMeta(func() (concurrent.MetaRecord, bool) {
+		r, ok := next()
+		if !ok {
+			return concurrent.MetaRecord{}, false
+		}
+		return concurrent.MetaRecord{
+			Ghost:       r.Ghost,
+			Key:         r.Key,
+			Value:       r.Value,
+			ExpiresAt:   r.ExpiresAt,
+			Freq:        r.Freq,
+			Main:        r.Queue == MetaMain,
+			Shard:       r.Shard,
+			Fingerprint: r.Fingerprint,
+		}, true
+	})
+}
+
 func (e *concurrentEngine) Occupancy() QueueOccupancy {
 	qs := e.kv.Queues()
 	return QueueOccupancy{

@@ -352,6 +352,46 @@ func (pe *policyEngine) Sample(max int) []KeySample {
 	return out
 }
 
+// SnapshotMeta implements Engine at the fidelity this engine has: the
+// policy layer owns queue structure and access history internally, so
+// the export carries entries (value, TTL) as MetaMain with Freq 0 and
+// no ghost records. A restored policy engine is warm in data, cold in
+// access history — the documented per-engine trade-off (DESIGN.md §13);
+// the concurrent engine restores the full state.
+func (pe *policyEngine) SnapshotMeta(fn func(MetaRecord) bool) {
+	pe.Range(func(key string, value []byte, expiresAt int64) bool {
+		return fn(MetaRecord{Key: key, Value: value, ExpiresAt: expiresAt, Queue: MetaMain})
+	})
+}
+
+// RestoreMeta implements Engine: entries re-insert through the normal
+// policy path in stream order (so FIFO-ordered policies age them in
+// snapshot order); ghost records are dropped. Entries the snapshot
+// marked as having proven reuse (main-queue residents or Freq > 0)
+// replay one access after insertion — without it every restored entry
+// looks like a one-hit wonder and the first post-restart eviction scan
+// would demote the entire working set's history at once.
+func (pe *policyEngine) RestoreMeta(next func() (MetaRecord, bool)) {
+	for {
+		rec, ok := next()
+		if !ok {
+			return
+		}
+		if rec.Ghost {
+			continue
+		}
+		s := pe.shardFor(rec.Key)
+		s.mu.Lock()
+		if s.insertLocked(rec.Key, rec.Value, rec.ExpiresAt) &&
+			(rec.Queue == MetaMain || rec.Freq > 0) {
+			if e, resident := s.entries[rec.Key]; resident {
+				s.pol.Request(e.id, e.size)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Occupancy implements Engine: per-queue byte and entry counts sampled
 // under each shard lock. Policies other than the S3-FIFO core expose no
 // queue structure, so their residency is reported wholesale as main.

@@ -124,10 +124,10 @@ func registerCacheFuncs(reg *telemetry.Registry, c *Cache) {
 		lbl("tier", "dram"), func() uint64 { return c.dramHits.Load() })
 	reg.CounterFunc("cache_hits_total", "Cache hits by serving tier.",
 		lbl("tier", "flash"), func() uint64 {
-			if c.flash == nil {
+			if c.tier == nil {
 				return 0
 			}
-			return c.flash.store.Stats().Hits
+			return c.tier.t.Stats().Hits
 		})
 	reg.CounterFunc("cache_misses_total", "Lookups missing every tier.",
 		nil, func() uint64 { return c.misses.Load() })
@@ -162,16 +162,17 @@ func registerCacheFuncs(reg *telemetry.Registry, c *Cache) {
 	reg.GaugeFunc("cache_queue_entries", qeHelp, lbl("queue", "ghost"),
 		func() float64 { return float64(c.engine.Occupancy().GhostLen) })
 
-	if c.flash != nil {
+	if c.tier != nil {
 		registerFlashFuncs(reg, c)
 	}
 }
 
-// registerFlashFuncs registers the flash-tier families (only when a
-// flash tier is configured, so a DRAM-only /metrics page isn't padded
-// with zero flash series).
+// registerFlashFuncs registers the second-tier families (only when one
+// is configured, so a DRAM-only /metrics page isn't padded with zero
+// series). The cache_flash_* names are historical — they describe
+// whichever tier kind is configured.
 func registerFlashFuncs(reg *telemetry.Registry, c *Cache) {
-	t := c.flash
+	t := c.tier
 	lbl := func(v string) telemetry.Labels { return telemetry.Labels{{Key: "result", Value: v}} }
 
 	demHelp := "DRAM evictions offered to the flash tier: written (new flash write), clean (valid flash copy already present), or declined by admission."
@@ -190,15 +191,15 @@ func registerFlashFuncs(reg *telemetry.Registry, c *Cache) {
 		"Flash hits promoted back into DRAM.",
 		nil, func() uint64 { return c.promotions.Load() })
 	reg.CounterFunc("cache_flash_bytes_written_total",
-		"Bytes appended to the flash log (write-amplification numerator).",
-		nil, func() uint64 { return t.store.Stats().BytesWritten })
+		"Bytes written to the second tier (write-amplification numerator).",
+		nil, func() uint64 { return t.t.Stats().BytesWritten })
 	reg.CounterFunc("cache_flash_gc_bytes_total",
-		"Live bytes rewritten by flash segment reclamation.",
-		nil, func() uint64 { return t.store.Stats().GCBytes })
-	reg.GaugeFunc("cache_flash_segments", "Flash log segments on disk.",
-		nil, func() float64 { return float64(t.store.Segments()) })
-	reg.GaugeFunc("cache_flash_entries", "Entries indexed in the flash tier.",
-		nil, func() float64 { return float64(t.store.Len()) })
+		"Live bytes rewritten by tier reclamation/compaction.",
+		nil, func() uint64 { return t.t.Stats().GCBytes })
+	reg.GaugeFunc("cache_flash_segments", "Tier segment/bucket files on disk.",
+		nil, func() float64 { return float64(t.t.Stats().Segments) })
+	reg.GaugeFunc("cache_flash_entries", "Entries indexed in the second tier.",
+		nil, func() float64 { return float64(t.t.Stats().Entries) })
 
 	// Breaker health (DESIGN.md §10): alert on cache_flash_degraded == 1
 	// or a rising trip rate.

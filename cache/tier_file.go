@@ -1,0 +1,56 @@
+package cache
+
+import (
+	"s3fifo/internal/filetier"
+)
+
+// fileTier adapts the bucketed file-persist store (internal/filetier) to
+// the Tier interface: the small-deployment second tier — no segment log,
+// one append file per key-hash bucket, compacted in place.
+type fileTier struct {
+	store *filetier.Store
+}
+
+func newFileTier(cfg Config) (Tier, error) {
+	store, err := filetier.Open(filetier.Options{
+		Dir:      cfg.FlashDir,
+		MaxBytes: cfg.FlashBytes,
+		FS:       cfg.FlashFS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &fileTier{store: store}, nil
+}
+
+func (t *fileTier) Kind() string { return "file" }
+
+func (t *fileTier) Get(key string) ([]byte, int64, bool, error) {
+	return t.store.Get(key)
+}
+
+func (t *fileTier) Contains(key string) bool { return t.store.Contains(key) }
+
+func (t *fileTier) Put(key string, value []byte, expiresAt int64) error {
+	if len(key) >= filetier.MaxKeyLen || len(value) > filetier.MaxValueLen {
+		return ErrEntryTooLarge
+	}
+	return t.store.Put(key, value, expiresAt)
+}
+
+func (t *fileTier) Delete(key string) (bool, error) { return t.store.Delete(key) }
+func (t *fileTier) Sync() error                     { return t.store.Sync() }
+func (t *fileTier) Reset() error                    { return t.store.Reset() }
+func (t *fileTier) Close() error                    { return t.store.Close() }
+
+func (t *fileTier) Stats() TierStats {
+	st := t.store.Stats()
+	return TierStats{
+		Hits:         st.Hits,
+		Misses:       st.Misses,
+		Entries:      uint64(t.store.Len()),
+		Segments:     uint64(t.store.Buckets()),
+		BytesWritten: st.BytesWritten,
+		GCBytes:      st.GCBytes,
+	}
+}

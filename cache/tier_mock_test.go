@@ -1,0 +1,131 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+)
+
+// mockTier is an in-memory Tier for tests: correct when healthy, and
+// fault-injecting on demand — fail() makes every I/O method return
+// errMockDown until heal(). It stands in for a real backend in the
+// parameterized breaker tests, proving the breaker machinery is generic
+// over the Tier interface rather than coupled to any implementation.
+type mockTier struct {
+	mu      sync.Mutex
+	m       map[string]mockEntry
+	failing bool
+	closed  bool
+
+	hits, misses, bytesWritten uint64
+	resets                     int
+}
+
+type mockEntry struct {
+	value     []byte
+	expiresAt int64
+}
+
+var errMockDown = errors.New("mock tier: injected fault")
+
+func newMockTier() *mockTier {
+	return &mockTier{m: make(map[string]mockEntry)}
+}
+
+func (mt *mockTier) fail() {
+	mt.mu.Lock()
+	mt.failing = true
+	mt.mu.Unlock()
+}
+
+func (mt *mockTier) heal() {
+	mt.mu.Lock()
+	mt.failing = false
+	mt.mu.Unlock()
+}
+
+func (mt *mockTier) Kind() string { return "mock" }
+
+func (mt *mockTier) Get(key string) ([]byte, int64, bool, error) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if mt.failing {
+		return nil, 0, false, errMockDown
+	}
+	e, ok := mt.m[key]
+	if !ok {
+		mt.misses++
+		return nil, 0, false, nil
+	}
+	mt.hits++
+	return e.value, e.expiresAt, true, nil
+}
+
+func (mt *mockTier) Contains(key string) bool {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	_, ok := mt.m[key]
+	return ok
+}
+
+func (mt *mockTier) Put(key string, value []byte, expiresAt int64) error {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if mt.failing {
+		return errMockDown
+	}
+	mt.m[key] = mockEntry{value: append([]byte(nil), value...), expiresAt: expiresAt}
+	mt.bytesWritten += uint64(len(key) + len(value))
+	return nil
+}
+
+func (mt *mockTier) Delete(key string) (bool, error) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if mt.failing {
+		// Report existed=true so the breaker keeps the key dirty, like
+		// the real tiers do on a failed delete.
+		return true, errMockDown
+	}
+	_, ok := mt.m[key]
+	delete(mt.m, key)
+	return ok, nil
+}
+
+func (mt *mockTier) Sync() error {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if mt.failing {
+		return errMockDown
+	}
+	return nil
+}
+
+func (mt *mockTier) Reset() error {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if mt.failing {
+		return errMockDown
+	}
+	mt.m = make(map[string]mockEntry)
+	mt.resets++
+	return nil
+}
+
+func (mt *mockTier) Stats() TierStats {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return TierStats{
+		Hits:         mt.hits,
+		Misses:       mt.misses,
+		Entries:      uint64(len(mt.m)),
+		Segments:     1,
+		BytesWritten: mt.bytesWritten,
+	}
+}
+
+func (mt *mockTier) Close() error {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.closed = true
+	return nil
+}

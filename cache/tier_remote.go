@@ -1,0 +1,166 @@
+// The remote tier: a peer s3cached node as the layer under DRAM,
+// reached over the pipelined binary protocol (PR 6's client). DRAM
+// evictions demote to the peer with Set; DRAM misses fall through to it
+// with Get. The peer runs its own S3-FIFO eviction, so the pair forms a
+// two-level cache hierarchy with independent working-set tracking at
+// each level — the "remote flash box" deployment shape, without this
+// node needing a disk at all.
+//
+// Differences from the on-disk tiers, visible through the Tier contract:
+//
+//   - Contains always reports false. Probing the peer would transfer the
+//     whole value over the network; letting demote re-Put an entry the
+//     peer already holds is an idempotent rewrite and strictly cheaper.
+//     (Consequence: Cache.Contains does not see remote-resident keys,
+//     and the "clean demotion" optimization never fires.)
+//   - Get reports expiresAt 0: the wire protocol does not carry expiry
+//     on reads, and the peer enforces its own TTLs.
+//   - Reset cannot reach into the peer's store (a peer serves other
+//     clients too). Instead it bumps a local generation counter that
+//     prefixes every key sent from then on, making all previously
+//     demoted copies unreachable from this node; the peer evicts them
+//     naturally. The generation is process-local, so a restart returns
+//     to generation 0 — a bounded staleness window of the same shape as
+//     the degraded-crash gap DESIGN.md §10 documents; §13 spells it out.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"s3fifo/client"
+	"s3fifo/internal/proto"
+)
+
+// remoteTierDefaults tune the peer connection: pipelined binary mode
+// (demotions from concurrent shards share one connection), a per-op
+// deadline so a hung peer surfaces as an error the breaker can count,
+// and no retries — the breaker is the retry policy here.
+const (
+	remotePipelineDepth = 64
+	remoteOpTimeout     = 2 * time.Second
+)
+
+type remoteTier struct {
+	cl   *client.Client
+	addr string
+
+	// gen is the Reset generation. 0 sends keys verbatim; after a Reset,
+	// keys are sent prefixed with "g<gen>;" so every copy demoted under a
+	// previous generation becomes unreachable.
+	gen atomic.Uint64
+
+	hits, misses atomic.Uint64
+	bytesWritten atomic.Uint64
+}
+
+func newRemoteTier(cfg Config) (Tier, error) {
+	cl, err := client.DialOptions(cfg.TierAddr, client.Options{
+		Binary:    true,
+		Pipeline:  remotePipelineDepth,
+		OpTimeout: remoteOpTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cache: dial remote tier %s: %w", cfg.TierAddr, err)
+	}
+	return &remoteTier{cl: cl, addr: cfg.TierAddr}, nil
+}
+
+func (t *remoteTier) Kind() string { return "remote" }
+
+// wireKey maps a cache key to the key sent to the peer under the current
+// Reset generation.
+func (t *remoteTier) wireKey(key string) string {
+	g := t.gen.Load()
+	if g == 0 {
+		return key
+	}
+	return "g" + strconv.FormatUint(g, 10) + ";" + key
+}
+
+func (t *remoteTier) Get(key string) ([]byte, int64, bool, error) {
+	v, ok, err := t.cl.Get(t.wireKey(key))
+	if err != nil {
+		t.misses.Add(1)
+		return nil, 0, false, fmt.Errorf("cache: remote tier get: %w", err)
+	}
+	if !ok {
+		t.misses.Add(1)
+		return nil, 0, false, nil
+	}
+	t.hits.Add(1)
+	return v, 0, true, nil
+}
+
+// Contains conservatively reports false; see the package comment.
+func (t *remoteTier) Contains(string) bool { return false }
+
+func (t *remoteTier) Put(key string, value []byte, expiresAt int64) error {
+	wk := t.wireKey(key)
+	if len(wk) > proto.MaxKeyLen || len(value) > proto.MaxValueLen {
+		return ErrEntryTooLarge
+	}
+	var ttl time.Duration
+	if expiresAt != 0 {
+		ttl = time.Duration(expiresAt - now().UnixNano())
+		if ttl <= 0 {
+			return nil // already expired: nothing worth shipping
+		}
+	}
+	var err error
+	if ttl > 0 {
+		_, err = t.cl.SetWithTTL(wk, value, ttl)
+	} else {
+		_, err = t.cl.Set(wk, value)
+	}
+	if err != nil {
+		var se *client.ServerError
+		if errors.As(err, &se) {
+			// The peer refused the request (too large for its limits, bad
+			// key): a per-entry decline, not peer sickness.
+			return ErrEntryTooLarge
+		}
+		return fmt.Errorf("cache: remote tier put: %w", err)
+	}
+	t.bytesWritten.Add(uint64(len(wk) + len(value)))
+	return nil
+}
+
+func (t *remoteTier) Delete(key string) (bool, error) {
+	existed, err := t.cl.Delete(t.wireKey(key))
+	if err != nil {
+		// The delete may or may not have reached the peer; report existed so
+		// the breaker sees the error and keeps the key in its dirty set.
+		return true, fmt.Errorf("cache: remote tier delete: %w", err)
+	}
+	return existed, nil
+}
+
+// Sync is the breaker's health probe: a Ping round-trip through the
+// peer.
+func (t *remoteTier) Sync() error {
+	if err := t.cl.Ping(); err != nil {
+		return fmt.Errorf("cache: remote tier ping: %w", err)
+	}
+	return nil
+}
+
+// Reset bumps the key generation; see the package comment.
+func (t *remoteTier) Reset() error {
+	t.gen.Add(1)
+	return nil
+}
+
+func (t *remoteTier) Stats() TierStats {
+	return TierStats{
+		Hits:         t.hits.Load(),
+		Misses:       t.misses.Load(),
+		BytesWritten: t.bytesWritten.Load(),
+		// Entries/Segments/GCBytes: the peer's store is not ours to count.
+	}
+}
+
+func (t *remoteTier) Close() error { return t.cl.Close() }

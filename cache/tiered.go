@@ -1,43 +1,44 @@
-// Tiered operation: the DRAM cache over a log-structured flash store
-// (internal/flash), modeled on the paper's §5.4 flash study and on
-// production DRAM-over-flash hierarchies (Cachelib). DRAM eviction is the
-// demotion point — an admission policy decides whether the evicted value
-// is worth a flash write, since every write consumes device lifetime — and
-// a flash hit lazily promotes the entry back into DRAM, leaving the flash
-// copy valid so re-demoting it later costs nothing.
+// Tiered operation: the DRAM cache over a pluggable second tier (the
+// Tier interface, tier.go), modeled on the paper's §5.4 flash study and
+// on production DRAM-over-flash hierarchies (Cachelib). DRAM eviction is
+// the demotion point — an admission policy decides whether the evicted
+// value is worth a tier write, since (on flash) every write consumes
+// device lifetime — and a tier hit lazily promotes the entry back into
+// DRAM, leaving the tier copy valid so re-demoting it later costs
+// nothing.
 package cache
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
-	"s3fifo/internal/flash"
 	"s3fifo/internal/flashsim"
 	"s3fifo/internal/ghost"
 	"s3fifo/internal/sketch"
 )
 
-// flashTier couples the on-disk store with the admission policy, the
-// circuit breaker, and the tier's counters.
-type flashTier struct {
-	store *flash.Store
-	adm   admitter
-	br    *breaker
+// secondTier couples the backing Tier with the admission policy, the
+// circuit breaker, and the demotion-flow counters.
+type secondTier struct {
+	t   Tier
+	adm admitter
+	br  *breaker
 
-	demoted      uint64 // written to flash at DRAM eviction
-	demotedClean uint64 // admitted, but a valid flash copy already existed
-	declined     uint64 // rejected by the admission policy
+	demoted      uint64 // written to the tier at DRAM eviction
+	demotedClean uint64 // admitted, but a valid tier copy already existed
+	declined     uint64 // rejected by the admission policy (or oversized)
 	writeThrough uint64 // written at Set time on a ghost re-request
 	dropped      uint64 // demotions dropped while degraded (breaker open)
 }
 
-// available reports whether the flash tier is currently serving (breaker
-// closed).
-func (t *flashTier) available() bool { return t.br.available() }
+// available reports whether the second tier is currently serving
+// (breaker closed).
+func (t *secondTier) available() bool { return t.br.available() }
 
-// admitter decides which entries are worth a flash write. Implementations
+// admitter decides which entries are worth a tier write. Implementations
 // must be safe for concurrent use: shards call them under their own locks.
 type admitter interface {
 	name() string
@@ -45,7 +46,7 @@ type admitter interface {
 	// hit count while resident (the policy's frequency-at-eviction).
 	admitEvicted(id uint64, size uint32, freq int) bool
 	// admitInsert decides at Set time whether the new value should be
-	// written through to flash immediately (ghost re-request).
+	// written through to the tier immediately (ghost re-request).
 	admitInsert(id uint64, size uint32) bool
 }
 
@@ -60,7 +61,7 @@ var admissionFactories = map[string]func(cfg Config) admitter{
 	},
 }
 
-// Admissions returns the available flash admission policy names, sorted.
+// Admissions returns the available admission policy names, sorted.
 func Admissions() []string {
 	names := make([]string, 0, len(admissionFactories))
 	for n := range admissionFactories {
@@ -70,18 +71,44 @@ func Admissions() []string {
 	return names
 }
 
-// newFlashTier opens the flash store described by cfg, or returns
-// (nil, nil) when no flash tier is configured.
-func newFlashTier(cfg Config) (*flashTier, error) {
-	if cfg.FlashDir == "" {
-		if cfg.FlashBytes != 0 || cfg.Admission != "" {
-			return nil, fmt.Errorf("cache: FlashBytes/Admission need FlashDir")
+// tierFactories maps Config.Tier kinds to constructors. Registered here
+// rather than switched inline so Tiers() can enumerate them.
+var tierFactories = map[string]func(cfg Config) (Tier, error){
+	"flash":  newFlashStoreTier,
+	"file":   newFileTier,
+	"remote": newRemoteTier,
+}
+
+// Tiers returns the built-in second-tier kinds, sorted.
+func Tiers() []string {
+	names := make([]string, 0, len(tierFactories))
+	for n := range tierFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newSecondTier builds the second tier described by cfg, or returns
+// (nil, nil) when none is configured. Selection: Config.SecondTier (an
+// explicit Tier instance) wins; otherwise Config.Tier names a kind, with
+// "" inferring "remote" when TierAddr is set, "flash" when FlashDir is.
+func newSecondTier(cfg Config) (*secondTier, error) {
+	kind := cfg.Tier
+	if cfg.SecondTier == nil && kind == "" {
+		switch {
+		case cfg.TierAddr != "":
+			kind = "remote"
+		case cfg.FlashDir != "":
+			kind = "flash"
+		default:
+			if cfg.FlashBytes != 0 || cfg.Admission != "" {
+				return nil, fmt.Errorf("cache: FlashBytes/Admission need a second tier (FlashDir, TierAddr, Tier, or SecondTier)")
+			}
+			return nil, nil
 		}
-		return nil, nil
 	}
-	if cfg.FlashBytes == 0 {
-		return nil, fmt.Errorf("cache: FlashDir needs FlashBytes")
-	}
+
 	if cfg.Admission == "" {
 		cfg.Admission = "all"
 	}
@@ -90,30 +117,60 @@ func newFlashTier(cfg Config) (*flashTier, error) {
 		return nil, fmt.Errorf("cache: unknown admission policy %q (have %v)",
 			cfg.Admission, Admissions())
 	}
-	store, err := flash.Open(flash.Options{
-		Dir:          cfg.FlashDir,
-		MaxBytes:     cfg.FlashBytes,
-		SegmentBytes: cfg.FlashSegmentBytes,
-		FS:           cfg.FlashFS,
-	})
-	if err != nil {
-		return nil, err
+
+	var tier Tier
+	switch {
+	case cfg.SecondTier != nil:
+		if kind != "" {
+			return nil, fmt.Errorf("cache: SecondTier and Tier are mutually exclusive")
+		}
+		tier = cfg.SecondTier
+	default:
+		mkTier, ok := tierFactories[kind]
+		if !ok {
+			return nil, fmt.Errorf("cache: unknown tier kind %q (have %v)", kind, Tiers())
+		}
+		switch kind {
+		case "flash", "file":
+			if cfg.FlashDir == "" {
+				return nil, fmt.Errorf("cache: tier %q needs FlashDir", kind)
+			}
+			if cfg.FlashBytes == 0 {
+				return nil, fmt.Errorf("cache: tier %q needs FlashBytes", kind)
+			}
+		case "remote":
+			if cfg.TierAddr == "" {
+				return nil, fmt.Errorf("cache: tier \"remote\" needs TierAddr")
+			}
+			if cfg.FlashBytes == 0 {
+				// The ghost admission policy sizes its queue from FlashBytes;
+				// for a remote tier it is only that sizing hint, so default it
+				// rather than demand the peer's capacity be known.
+				cfg.FlashBytes = 256 << 20
+			}
+		}
+		t, err := mkTier(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tier = t
 	}
-	br := newBreaker(store, cfg.FlashBreakerThreshold, cfg.FlashRetryMin, cfg.FlashRetryMax)
-	return &flashTier{store: store, adm: mk(cfg), br: br}, nil
+
+	br := newBreaker(tier, cfg.FlashBreakerThreshold, cfg.FlashRetryMin, cfg.FlashRetryMax)
+	return &secondTier{t: tier, adm: mk(cfg), br: br}, nil
 }
 
 // demote runs at DRAM eviction, inside the engine's eviction hook and
-// therefore under an engine lock (engine -> flash is the one lock
-// order). It reports whether the entry lives on in the flash tier
+// therefore under an engine lock (engine -> tier is the one lock
+// order). It reports whether the entry lives on in the second tier
 // (written now, or already there from an earlier demotion).
-func (t *flashTier) demote(ev EngineEviction) bool {
+func (t *secondTier) demote(ev EngineEviction) bool {
 	key := ev.Key
-	if len(key) == 0 || len(key) >= flash.MaxKeyLen || len(ev.Value) > flash.MaxValueLen {
+	if len(key) == 0 {
 		return false
 	}
 	// Degraded mode: the entry leaves the cache entirely rather than
-	// touching a disk the breaker has declared sick.
+	// touching a backend the breaker has declared sick.
 	if !t.br.available() {
 		atomic.AddUint64(&t.dropped, 1)
 		return false
@@ -124,14 +181,19 @@ func (t *flashTier) demote(ev EngineEviction) bool {
 		atomic.AddUint64(&t.declined, 1)
 		return false
 	}
-	if t.store.Contains(key) {
-		// The entry was promoted from flash and not overwritten since
-		// (Set invalidates), so the flash copy is still the live value:
+	if t.t.Contains(key) {
+		// The entry was promoted from the tier and not overwritten since
+		// (Set invalidates), so the tier copy is still the live value:
 		// lazy promotion saved this write.
 		atomic.AddUint64(&t.demotedClean, 1)
 		return true
 	}
-	err := t.store.Put(key, ev.Value, ev.ExpiresAt)
+	err := t.t.Put(key, ev.Value, ev.ExpiresAt)
+	if errors.Is(err, ErrEntryTooLarge) {
+		// A per-entry decline (backend limits), not backend sickness.
+		atomic.AddUint64(&t.declined, 1)
+		return false
+	}
 	t.br.note(err)
 	if err != nil {
 		return false
@@ -141,27 +203,30 @@ func (t *flashTier) demote(ev EngineEviction) bool {
 }
 
 // expired reports whether the evicted entry's TTL had already passed at
-// eviction time (such victims are never worth a flash write).
+// eviction time (such victims are never worth a tier write).
 func (ev EngineEviction) expired() bool {
 	return ev.ExpiresAt != 0 && now().UnixNano() > ev.ExpiresAt
 }
 
-// onSet runs after an engine Set: the new value supersedes any flash
+// onSet runs after an engine Set: the new value supersedes any tier
 // copy (tombstoned, not just dropped from the index, so a stale record
 // can never resurrect on crash recovery), and ghost admission may write
 // it through immediately. The facade's Set orders this after engine.Set
 // returns, which both engines guarantee is after any in-flight demotion
 // of the superseded value has settled.
-func (t *flashTier) onSet(key string, id uint64, value []byte, stored bool) {
+func (t *secondTier) onSet(key string, id uint64, value []byte, stored bool) {
 	if t.br.markDirtyIfDegraded(key) {
 		return // superseded copy is tombstoned by the breaker's restore
 	}
 	t.supersede(key)
-	if !stored || len(key) >= flash.MaxKeyLen || len(value) > flash.MaxValueLen {
+	if !stored {
 		return
 	}
 	if t.adm.admitInsert(id, entrySize(key, value)) {
-		err := t.store.Put(key, value, 0)
+		err := t.t.Put(key, value, 0)
+		if errors.Is(err, ErrEntryTooLarge) {
+			return
+		}
 		t.br.note(err)
 		if err == nil {
 			atomic.AddUint64(&t.writeThrough, 1)
@@ -169,19 +234,19 @@ func (t *flashTier) onSet(key string, id uint64, value []byte, stored bool) {
 	}
 }
 
-// supersede tombstones any flash copy of key, feeding the disk outcome to
-// the breaker. No-op deletes (key not on flash) touch no disk and so
-// carry no health signal.
-func (t *flashTier) supersede(key string) {
-	if wrote, err := t.store.Delete(key); wrote {
+// supersede tombstones any tier copy of key, feeding the backend outcome
+// to the breaker. No-op deletes (key not in the tier) touch no backend
+// I/O and so carry no health signal.
+func (t *secondTier) supersede(key string) {
+	if wrote, err := t.t.Delete(key); wrote {
 		t.br.note(err)
 	}
 }
 
 // invalidate is the facade's Set(TTL)/Delete supersession entry: while
 // degraded the key is queued for the breaker's restore sweep, otherwise
-// the flash copy is tombstoned now.
-func (t *flashTier) invalidate(key string) {
+// the tier copy is tombstoned now.
+func (t *secondTier) invalidate(key string) {
 	if t.br.markDirtyIfDegraded(key) {
 		return
 	}
@@ -219,7 +284,7 @@ func (a *admitProb) admitInsert(uint64, uint32) bool { return false }
 
 // admitFreq admits entries that were hit at least once while resident in
 // DRAM — one-hit wonders (the majority of objects in every trace the
-// paper studies) never reach flash.
+// paper studies) never reach the second tier.
 type admitFreq struct{}
 
 func (admitFreq) name() string { return "freq" }
@@ -233,7 +298,7 @@ func (admitFreq) admitInsert(uint64, uint32) bool { return false }
 // remembered in a ghost FIFO queue sized to one flash generation
 // (flashsim.GhostSizer), and a re-Set while remembered proves reuse and
 // writes through. Everything the ghost has forgotten is a one-hit wonder
-// and never touches flash.
+// and never touches the second tier.
 type admitGhost struct {
 	mu    sync.Mutex
 	g     *ghost.Queue

@@ -543,25 +543,27 @@ func (c *Client) Delete(key string) (bool, error) {
 // ServerStats is the typed view of the server's counters. Flash fields
 // are zero when the server runs without a flash tier.
 type ServerStats struct {
-	Engine            string // serving engine ("policy" or "concurrent")
-	NodeID            string // cluster node identity (s3cached -node-id); "" when unset
-	Hits              uint64 // DRAMHits + FlashHits
-	Misses            uint64
-	Sets              uint64
-	Evictions         uint64
-	Expired           uint64
-	DRAMHits          uint64
-	FlashHits         uint64
-	FlashBytesWritten uint64
-	FlashGCBytes      uint64
-	FlashSegments     uint64
-	FlashEntries      uint64
-	Demotions         uint64
-	DemotionsDeclined uint64
-	Promotions        uint64
-	Entries           uint64
-	Bytes             uint64
-	Capacity          uint64
+	Engine             string // serving engine ("policy" or "concurrent")
+	NodeID             string // cluster node identity (s3cached -node-id); "" when unset
+	TierKind           string // active second tier ("flash", "file", "remote"); "" when DRAM-only
+	SnapshotAgeSeconds int64  // age of the snapshot last saved or restored; -1 when none
+	Hits               uint64 // DRAMHits + FlashHits
+	Misses             uint64
+	Sets               uint64
+	Evictions          uint64
+	Expired            uint64
+	DRAMHits           uint64
+	FlashHits          uint64
+	FlashBytesWritten  uint64
+	FlashGCBytes       uint64
+	FlashSegments      uint64
+	FlashEntries       uint64
+	Demotions          uint64
+	DemotionsDeclined  uint64
+	Promotions         uint64
+	Entries            uint64
+	Bytes              uint64
+	Capacity           uint64
 
 	// Flash health (DESIGN.md §10): breaker state and degraded-mode
 	// accounting.
@@ -596,26 +598,34 @@ func (c *Client) ServerStats() (ServerStats, error) {
 			m[name] = n
 		}
 	}
+	snapshotAge := int64(-1)
+	if v, ok := raw["snapshot_age_seconds"]; ok {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			snapshotAge = n
+		}
+	}
 	return ServerStats{
-		Engine:            raw["engine"],
-		NodeID:            raw["node_id"],
-		Hits:              m["hits"],
-		Misses:            m["misses"],
-		Sets:              m["sets"],
-		Evictions:         m["evictions"],
-		Expired:           m["expired"],
-		DRAMHits:          m["dram_hits"],
-		FlashHits:         m["flash_hits"],
-		FlashBytesWritten: m["flash_bytes_written"],
-		FlashGCBytes:      m["flash_gc_bytes"],
-		FlashSegments:     m["flash_segments"],
-		FlashEntries:      m["flash_entries"],
-		Demotions:         m["demotions"],
-		DemotionsDeclined: m["demotions_declined"],
-		Promotions:        m["promotions"],
-		Entries:           m["entries"],
-		Bytes:             m["bytes"],
-		Capacity:          m["capacity"],
+		Engine:             raw["engine"],
+		NodeID:             raw["node_id"],
+		TierKind:           raw["tier_kind"],
+		SnapshotAgeSeconds: snapshotAge,
+		Hits:               m["hits"],
+		Misses:             m["misses"],
+		Sets:               m["sets"],
+		Evictions:          m["evictions"],
+		Expired:            m["expired"],
+		DRAMHits:           m["dram_hits"],
+		FlashHits:          m["flash_hits"],
+		FlashBytesWritten:  m["flash_bytes_written"],
+		FlashGCBytes:       m["flash_gc_bytes"],
+		FlashSegments:      m["flash_segments"],
+		FlashEntries:       m["flash_entries"],
+		Demotions:          m["demotions"],
+		DemotionsDeclined:  m["demotions_declined"],
+		Promotions:         m["promotions"],
+		Entries:            m["entries"],
+		Bytes:              m["bytes"],
+		Capacity:           m["capacity"],
 
 		FlashErrors:          m["flash_errors"],
 		FlashDegraded:        m["flash_degraded"] != 0,

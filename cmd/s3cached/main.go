@@ -18,6 +18,15 @@
 // many consecutive flash I/O errors degrade the cache to DRAM-only
 // serving (0 disables; see DESIGN.md §10).
 //
+// The second tier is pluggable (-tier flash|file|remote; see DESIGN.md
+// §13): -flash-dir names the flash or file tier's directory, -tier-addr
+// points the remote tier at a peer s3cached. Unset, -tier is inferred
+// (-tier-addr selects remote, -flash-dir selects flash). -snapshot-path
+// enables warm restarts: the full eviction-metadata snapshot (queue
+// membership, frequencies, ghost state) is saved there on SIGINT/SIGTERM
+// and restored at the next boot, so a restarted server resumes at its
+// pre-shutdown hit ratio instead of re-learning the working set.
+//
 // -slow-op <dur> logs every cache operation at or above the threshold
 // as a structured line (op, hashed key, duration, serving tier); it also
 // switches per-op latency from 1-in-64 sampling to timing every call.
@@ -45,6 +54,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net"
 	"net/http"
@@ -69,6 +79,11 @@ func main() {
 	shards := flag.Int("shards", 16, "cache shards")
 	flashDir := flag.String("flash-dir", "", "directory for the flash tier's segment files (enables the tier)")
 	flashBytes := flag.Uint64("flash-bytes", 0, "flash tier capacity in bytes (required with -flash-dir)")
+	tier := flag.String("tier", "",
+		"second-tier kind: "+strings.Join(cache.Tiers(), ", ")+" (default inferred: -tier-addr selects remote, -flash-dir selects flash)")
+	tierAddr := flag.String("tier-addr", "", "peer s3cached address for the remote tier (enables it)")
+	snapshotPath := flag.String("snapshot-path", "",
+		"metadata snapshot file: loaded at boot if present (warm restart), saved on SIGINT/SIGTERM")
 	admission := flag.String("admission", "",
 		"flash admission policy: "+strings.Join(cache.Admissions(), ", ")+" (default all)")
 	flashBreaker := flag.Int("flash-breaker", 3,
@@ -106,11 +121,13 @@ func main() {
 		slowLog = func(line string) { log.Print("s3cached: ", line) }
 	}
 
-	c, err := cache.New(cache.Config{
+	cfg := cache.Config{
 		MaxBytes:              *maxBytes,
 		Engine:                *engine,
 		Policy:                *policy,
 		Shards:                *shards,
+		Tier:                  *tier,
+		TierAddr:              *tierAddr,
 		FlashDir:              *flashDir,
 		FlashBytes:            *flashBytes,
 		Admission:             *admission,
@@ -118,7 +135,26 @@ func main() {
 		Metrics:               reg,
 		SlowOpThreshold:       *slowOp,
 		SlowOpLog:             slowLog,
-	})
+	}
+	// Warm restart: restore the previous process's metadata snapshot when
+	// one exists. A missing file is the normal first boot; a corrupt one
+	// is logged and ignored — a cold cache serves correctly either way.
+	var c *cache.Cache
+	var err error
+	if *snapshotPath != "" {
+		c, err = cache.LoadFile(*snapshotPath, cfg)
+		switch {
+		case err == nil:
+			fmt.Printf("restored snapshot %s (%d entries)\n", *snapshotPath, c.Len())
+		case errors.Is(err, fs.ErrNotExist):
+			c, err = cache.New(cfg)
+		default:
+			log.Print("s3cached: snapshot load: ", err, " (starting cold)")
+			c, err = cache.New(cfg)
+		}
+	} else {
+		c, err = cache.New(cfg)
+	}
 	if err != nil {
 		log.Fatal("s3cached: ", err)
 	}
@@ -133,13 +169,21 @@ func main() {
 		go func() { log.Fatal(http.ListenAndServe(*adminAddr, handler)) }()
 		fmt.Printf("admin on http://%s (/metrics /stats /healthz /debug/pprof)\n", *adminAddr)
 	}
-	// Sync and close the flash tier on SIGINT/SIGTERM so a restart
+	// On SIGINT/SIGTERM: stop serving, save the metadata snapshot (if
+	// configured), then sync and close the second tier so a restart
 	// recovers the full index without replay losses.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		srv.Close()
+		if *snapshotPath != "" {
+			if err := c.SaveFile(*snapshotPath); err != nil {
+				log.Print("s3cached: snapshot save: ", err)
+			} else {
+				fmt.Printf("saved snapshot %s (%d entries)\n", *snapshotPath, c.Len())
+			}
+		}
 		if err := c.Close(); err != nil {
 			log.Print("s3cached: close: ", err)
 		}

@@ -128,6 +128,29 @@ type telemetrySection struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+// restartRow is one engine's warm-restart recovery measurement.
+type restartRow struct {
+	Engine         string  `json:"engine"`
+	SteadyHitRatio float64 `json:"steady_hit_ratio"`
+	WarmHitRatio   float64 `json:"warm_hit_ratio"`
+	ColdHitRatio   float64 `json:"cold_hit_ratio"`
+	Recovery       float64 `json:"recovery"`
+	SnapshotBytes  int64   `json:"snapshot_bytes"`
+	SaveMs         float64 `json:"save_ms"`
+	LoadMs         float64 `json:"load_ms"`
+}
+
+// restartFile is the BENCH_restart.json layout: warm-restart hit-ratio
+// recovery per engine (snapshot shutdown, restore, first-window hit
+// ratio vs pre-shutdown steady state and vs a cold restart).
+type restartFile struct {
+	Objects   int          `json:"objects"`
+	WarmOps   int          `json:"warm_ops"`
+	WindowOps int          `json:"window_ops"`
+	Note      string       `json:"note"`
+	Rows      []restartRow `json:"rows"`
+}
+
 // benchFile is the BENCH_concurrent.json layout.
 type benchFile struct {
 	Objects      int               `json:"objects"`
@@ -176,6 +199,9 @@ func main() {
 	clusterRepl := flag.String("cluster-repl", "1,2", "hot-shard replication factors for the cluster sweep")
 	clusterWorkers := flag.Int("cluster-workers", 8, "concurrent driver goroutines in the cluster sweep")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "write the cluster sweep as JSON to this path (empty disables)")
+	restart := flag.Bool("restart", true, "measure warm-restart hit-ratio recovery per engine")
+	restartJSON := flag.String("restart-json", "BENCH_restart.json", "write the restart sweep as JSON to this path (empty disables)")
+	restartWarmOps := flag.Int("restart-warm-ops", 200_000, "operations warming each server before the restart measurement")
 	overhead := flag.Bool("overhead", true, "measure telemetry overhead (live registry vs nil) through the cache facade")
 	overheadOnly := flag.Bool("overhead-only", false, "run only the telemetry-overhead measurement")
 	overheadOps := flag.Int("overhead-ops", 1_000_000, "operations per telemetry-overhead run")
@@ -342,6 +368,50 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s (%d rows)\n", *clusterJSON, len(cf.Rows))
+		}
+	}
+	if *restart && !*overheadOnly {
+		fmt.Println("==== warm restarts (snapshot shutdown -> restore, first-window hit ratio) ====")
+		rows, err := harness.RestartSweep(harness.RestartSweepConfig{
+			Objects: *serverObjects, WarmOps: *restartWarmOps,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		rf := restartFile{
+			Objects: *serverObjects, WarmOps: *restartWarmOps, WindowOps: 20_000,
+			Note: "get-or-set Zipf α=1.0 over loopback TCP; recovery = warm first-window " +
+				"hit ratio / pre-shutdown steady window; cold row is the same window on an " +
+				"empty cache (the outage warm restarts avoid)",
+		}
+		fmt.Println("engine       steady     warm     cold  recovery  snapshot      save      load")
+		for _, r := range rows {
+			fmt.Printf("%-12s %.4f   %.4f   %.4f    %5.1f%%  %7.1fK  %8v  %8v\n",
+				r.Engine, r.SteadyHitRatio, r.WarmHitRatio, r.ColdHitRatio,
+				r.Recovery()*100, float64(r.SnapshotBytes)/1e3, r.Save.Round(time.Millisecond),
+				r.Load.Round(time.Millisecond))
+			rf.Rows = append(rf.Rows, restartRow{
+				Engine: r.Engine, SteadyHitRatio: r.SteadyHitRatio,
+				WarmHitRatio: r.WarmHitRatio, ColdHitRatio: r.ColdHitRatio,
+				Recovery: r.Recovery(), SnapshotBytes: r.SnapshotBytes,
+				SaveMs: float64(r.Save.Microseconds()) / 1e3,
+				LoadMs: float64(r.Load.Microseconds()) / 1e3,
+			})
+		}
+		fmt.Println()
+		if *restartJSON != "" {
+			buf, err := json.MarshalIndent(rf, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "throughput:", err)
+				os.Exit(1)
+			}
+			buf = append(buf, '\n')
+			if err := os.WriteFile(*restartJSON, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "throughput:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d rows)\n", *restartJSON, len(rf.Rows))
 		}
 	}
 	if *overhead {

@@ -35,6 +35,9 @@ type FS interface {
 	Truncate(name string, size int64) error
 	Remove(name string) error
 	Glob(pattern string) ([]string, error)
+	// Stat returns the size of the named file. The flash store's manifest
+	// fast path uses it to validate segment files without reading them.
+	Stat(name string) (size int64, err error)
 }
 
 // OS returns the real filesystem.
@@ -48,7 +51,14 @@ func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }
 
-func (osFS) ReadFile(name string) ([]byte, error)   { return os.ReadFile(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Stat(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
 func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
 func (osFS) Remove(name string) error               { return os.Remove(name) }
 func (osFS) Glob(pattern string) ([]string, error)  { return filepath.Glob(pattern) }

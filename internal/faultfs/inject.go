@@ -205,6 +205,15 @@ func (i *Injector) ReadFile(name string) ([]byte, error) {
 	return i.inner.ReadFile(name)
 }
 
+// Stat is classified as a read: the manifest fast path uses it in place
+// of reading segment files, so a dead-on-read device must fail it too.
+func (i *Injector) Stat(name string) (int64, error) {
+	if err := i.run(OpRead); err != nil {
+		return 0, err
+	}
+	return i.inner.Stat(name)
+}
+
 func (i *Injector) Truncate(name string, size int64) error {
 	if err := i.run(OpTruncate); err != nil {
 		return err

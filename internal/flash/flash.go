@@ -119,6 +119,10 @@ type Stats struct {
 	RecoveredRecords uint64
 	TruncatedBytes   uint64
 	CorruptDropped   uint64
+	// ManifestRecovered is true when Open rebuilt the index from the
+	// manifest written by the previous clean Close, skipping the full
+	// checksummed log scan (see manifest.go).
+	ManifestRecovered bool
 }
 
 // rec locates one live record.
@@ -172,8 +176,12 @@ func Open(opts Options) (*Store, error) {
 		index: make(map[string]rec),
 		now:   unixNow,
 	}
-	if err := s.recover(); err != nil {
-		return nil, err
+	// Fast path: a manifest from a clean Close rebuilds the index without
+	// scanning the log; any mismatch falls back to the full scan.
+	if !s.loadManifest() {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
 	}
 	if len(s.segs) == 0 {
 		if err := s.rollLocked(); err != nil {
@@ -652,6 +660,11 @@ func (s *Store) Close() error {
 	var err error
 	if len(s.segs) > 0 {
 		err = s.active().f.Sync()
+	}
+	// With the log sealed, persist the index so the next Open can skip
+	// the scan. Best-effort: a failed write costs only the fast path.
+	if err == nil {
+		s.writeManifestLocked()
 	}
 	s.closeAll()
 	s.segs = nil

@@ -1,0 +1,195 @@
+// The index manifest: warm-restart support for the flash store. A clean
+// Close serializes the in-memory index (plus the segment list and each
+// record's read-while-on-flash counter) into one manifest file; the next
+// Open loads it and skips the full checksummed log scan, so recovery
+// time is proportional to the index, not the store.
+//
+// Safety protocol: the manifest is only trusted when every segment file
+// it names still exists at exactly the recorded size (a crash after the
+// manifest was written appends nothing — Close has already sealed the
+// log), and it is deleted immediately after a successful load, so a
+// later crash falls back to the scan instead of replaying a stale
+// index. A torn manifest write fails its own CRC and is ignored. The
+// scan therefore remains the source of truth; the manifest is purely an
+// optimization over it.
+package flash
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+const manifestName = "index.man"
+
+var manifestMagic = [8]byte{'S', 'F', 'L', 'M', 'A', 'N', '0', '1'}
+
+func (s *Store) manifestPath() string {
+	return filepath.Join(s.opts.Dir, manifestName)
+}
+
+// writeManifestLocked serializes the segment list and index. Called with
+// the store mutex held, after the active segment has been synced. A
+// failed write only costs the next Open its fast path, so the caller
+// treats errors as advisory.
+func (s *Store) writeManifestLocked() error {
+	var buf []byte
+	buf = append(buf, manifestMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.segs)))
+	for _, seg := range s.segs {
+		buf = binary.LittleEndian.AppendUint64(buf, seg.seq)
+		buf = binary.LittleEndian.AppendUint64(buf, seg.size)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.index)))
+	for key, r := range s.index {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+		buf = append(buf, key...)
+		buf = binary.LittleEndian.AppendUint64(buf, r.seg)
+		buf = binary.LittleEndian.AppendUint64(buf, r.off)
+		buf = binary.LittleEndian.AppendUint32(buf, r.vlen)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.expires))
+		buf = append(buf, r.freq)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	path := s.manifestPath()
+	f, err := s.opts.FS.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		f.Close()
+		s.opts.FS.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.opts.FS.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// loadManifest attempts the fast recovery path. It returns true when the
+// manifest was valid, matched the on-disk segment files, and the index
+// was rebuilt from it; false sends the caller to the full log scan.
+// Either way the manifest file is removed: once the store is open for
+// appends the serialized index is stale.
+func (s *Store) loadManifest() bool {
+	path := s.manifestPath()
+	data, err := s.opts.FS.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	// The manifest is consumed on sight — even if it validates, the store
+	// mutates from here on and a crash must trigger the scan.
+	defer s.opts.FS.Remove(path)
+
+	if len(data) < len(manifestMagic)+4+8+4 || [8]byte(data[:8]) != manifestMagic {
+		return false
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return false
+	}
+
+	off := len(manifestMagic)
+	need := func(n int) bool { return off+n <= len(body) }
+	if !need(4) {
+		return false
+	}
+	segCount := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	type segMeta struct {
+		seq, size uint64
+	}
+	segs := make([]segMeta, 0, segCount)
+	for i := 0; i < segCount; i++ {
+		if !need(16) {
+			return false
+		}
+		segs = append(segs, segMeta{
+			seq:  binary.LittleEndian.Uint64(body[off:]),
+			size: binary.LittleEndian.Uint64(body[off+8:]),
+		})
+		off += 16
+	}
+	// Validate the on-disk reality against the manifest before touching
+	// any store state: every named segment at its exact recorded size, no
+	// extra segment files beyond the named set.
+	names, err := s.opts.FS.Glob(filepath.Join(s.opts.Dir, "*.seg"))
+	if err != nil || len(names) != len(segs) {
+		return false
+	}
+	for _, sm := range segs {
+		size, err := s.opts.FS.Stat(segPath(s.opts.Dir, sm.seq))
+		if err != nil || uint64(size) != sm.size {
+			return false
+		}
+	}
+
+	if !need(8) {
+		return false
+	}
+	entryCount := binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	index := make(map[string]rec, entryCount)
+	now := s.now()
+	for i := uint64(0); i < entryCount; i++ {
+		if !need(2) {
+			return false
+		}
+		klen := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if klen == 0 || !need(klen+8+8+4+8+1) {
+			return false
+		}
+		key := string(body[off : off+klen])
+		off += klen
+		r := rec{
+			seg:     binary.LittleEndian.Uint64(body[off:]),
+			off:     binary.LittleEndian.Uint64(body[off+8:]),
+			vlen:    binary.LittleEndian.Uint32(body[off+16:]),
+			expires: int64(binary.LittleEndian.Uint64(body[off+20:])),
+			freq:    body[off+28],
+			klen:    uint16(klen),
+		}
+		off += 8 + 8 + 4 + 8 + 1
+		if r.expires != 0 && r.expires <= now {
+			continue // expired while down, same as the scan's treatment
+		}
+		index[key] = r
+	}
+	if off != len(body) {
+		return false
+	}
+
+	// Commit: open the segment files in sequence order, newest writable.
+	for i, sm := range segs {
+		mode := os.O_RDONLY
+		if i == len(segs)-1 {
+			mode = os.O_RDWR
+		}
+		f, err := s.opts.FS.OpenFile(segPath(s.opts.Dir, sm.seq), mode, 0o644)
+		if err != nil {
+			// Unwind so the scan fallback starts from pristine state.
+			s.closeAll()
+			s.segs = nil
+			s.diskUsed = 0
+			s.nextSeq = 0
+			return false
+		}
+		s.segs = append(s.segs, &segment{seq: sm.seq, path: segPath(s.opts.Dir, sm.seq), f: f, size: sm.size})
+		s.diskUsed += sm.size
+		if sm.seq >= s.nextSeq {
+			s.nextSeq = sm.seq + 1
+		}
+	}
+	for key, r := range index {
+		s.setIndex(key, r)
+	}
+	s.stats.ManifestRecovered = true
+	s.stats.RecoveredRecords = uint64(len(index))
+	return true
+}

@@ -9,7 +9,11 @@
 // entries as the main cache costs only a few bytes per object.
 package ghost
 
-import "s3fifo/internal/sketch"
+import (
+	"sort"
+
+	"s3fifo/internal/sketch"
+)
 
 const slotsPerBucket = 4
 
@@ -124,9 +128,21 @@ func (q *Queue) live(s slot) bool {
 // Insert records key as freshly evicted. Inserting an existing live entry
 // refreshes its timestamp rather than consuming another slot.
 func (q *Queue) Insert(key uint64) {
-	b, fp := q.locate(key)
+	_, fp := q.locate(key)
+	q.InsertFingerprint(fp)
+}
+
+// InsertFingerprint records a fingerprint directly, bypassing key
+// hashing. The snapshot-restore path uses it to replay fingerprints
+// exported from a previous process — the original keys are gone, which
+// is workable for the same reason Resize's migration is: bucket indices
+// derive from the fingerprint alone.
+func (q *Queue) InsertFingerprint(fp uint32) {
+	if fp == 0 {
+		fp = 1 // reserve 0 so a zero-value slot never matches
+	}
 	q.clock++
-	bucket := &q.buckets[b]
+	bucket := &q.buckets[q.bucketOf(fp)]
 	// Refresh if present.
 	for i := range bucket {
 		if bucket[i].used && bucket[i].fingerprint == fp {
@@ -181,6 +197,32 @@ func (q *Queue) Hits() uint64 { return q.hits }
 
 // ResetHits zeroes the hit counter.
 func (q *Queue) ResetHits() { q.hits = 0 }
+
+// Export calls fn for every live fingerprint, oldest insertion first,
+// until fn returns false. Snapshot support: replaying the fingerprints
+// through InsertFingerprint in this order rebuilds a queue that expires
+// entries in the same relative order as the original (linear scan plus a
+// sort — snapshot-path only, never the hot path).
+func (q *Queue) Export(fn func(fp uint32) bool) {
+	type ent struct {
+		fp uint32
+		at uint64
+	}
+	live := make([]ent, 0, 64)
+	for i := range q.buckets {
+		for _, s := range q.buckets[i] {
+			if q.live(s) {
+				live = append(live, ent{fp: s.fingerprint, at: s.insertedAt})
+			}
+		}
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].at < live[b].at })
+	for _, e := range live {
+		if !fn(e.fp) {
+			return
+		}
+	}
+}
 
 // Len returns the number of live entries (linear scan; intended for tests
 // and instrumentation, not the hot path).

@@ -29,25 +29,24 @@ func AdminHandler(s *Server, reg *telemetry.Registry) http.Handler {
 		json.NewEncoder(w).Encode(s.statsJSON())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		// A degraded flash tier still serves from DRAM, so the probe stays
-		// 200 (restarting the process would not help and would drop the
-		// DRAM working set too); the body flags the degradation for
-		// humans and log scrapers.
+		// A degraded second tier still serves from DRAM, so the probe
+		// stays 200 (restarting the process would not help and would drop
+		// the DRAM working set too); the body flags the degradation for
+		// humans and log scrapers, and names the active tier kind so an
+		// operator reading the probe knows which backend's breaker it is.
 		// With a node identity configured the body carries it, so cluster
 		// tooling probing many nodes can confirm which one answered.
+		body := "ok"
 		if s.cache.FlashDegraded() {
-			if s.nodeID != "" {
-				w.Write([]byte("degraded: flash breaker open node_id=" + s.nodeID + "\n"))
-				return
-			}
-			w.Write([]byte("degraded: flash breaker open\n"))
-			return
+			body = "degraded: tier breaker open"
+		}
+		if kind := s.cache.TierKind(); kind != "" {
+			body += " tier=" + kind
 		}
 		if s.nodeID != "" {
-			w.Write([]byte("ok node_id=" + s.nodeID + "\n"))
-			return
+			body += " node_id=" + s.nodeID
 		}
-		w.Write([]byte("ok\n"))
+		w.Write([]byte(body + "\n"))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -92,6 +91,12 @@ func (s *Server) statsJSON() map[string]any {
 	}
 	if s.nodeID != "" {
 		out["node_id"] = s.nodeID
+	}
+	if st.TierKind != "" {
+		out["tier_kind"] = st.TierKind
+	}
+	if age, ok := snapshotAge(st.SnapshotUnixNano); ok {
+		out["snapshot_age_seconds"] = age
 	}
 	return out
 }

@@ -117,8 +117,12 @@ func (s *Server) dispatchBinary(r *bufio.Reader, w *bufio.Writer, bc *binConn) (
 		}
 		s.cmdDelete.Add(1)
 		s.binDelete.Add(1)
-		if s.cache.Contains(key) {
-			s.cache.Delete(key)
+		// Contains only shapes the OK/Miss answer; the delete itself is
+		// unconditional because a tier may hold keys Contains cannot see
+		// (the remote tier reports false by design).
+		existed := s.cache.Contains(key)
+		s.cache.Delete(key)
+		if existed {
 			s.binRespond(w, bc, proto.StatusOK, h.ID, nil)
 		} else {
 			s.binRespond(w, bc, proto.StatusMiss, h.ID, nil)

@@ -496,10 +496,11 @@ func (s *Server) dispatch(tc *textConn, r *bufio.Reader, w *bufio.Writer, line s
 			return false, protoErr(w, "usage: delete <key>")
 		}
 		s.cmdDelete.Add(1)
+		// Contains only shapes the DELETED/NOT_FOUND answer; the delete
+		// itself is unconditional because a tier may hold keys Contains
+		// cannot see (the remote tier reports false by design).
 		existed := s.cache.Contains(fields[1])
-		if existed {
-			s.cache.Delete(fields[1])
-		}
+		s.cache.Delete(fields[1])
 		if noreply {
 			return false, nil
 		}
@@ -626,6 +627,12 @@ func (s *Server) writeStats(w io.Writer) {
 	if s.nodeID != "" {
 		fmt.Fprintf(w, "STAT node_id %s\r\n", s.nodeID)
 	}
+	if st.TierKind != "" {
+		fmt.Fprintf(w, "STAT tier_kind %s\r\n", st.TierKind)
+	}
+	if age, ok := snapshotAge(st.SnapshotUnixNano); ok {
+		fmt.Fprintf(w, "STAT snapshot_age_seconds %d\r\n", age)
+	}
 	fmt.Fprintf(w, "STAT hits %d\r\n", st.Hits)
 	fmt.Fprintf(w, "STAT misses %d\r\n", st.Misses)
 	fmt.Fprintf(w, "STAT sets %d\r\n", st.Sets)
@@ -656,10 +663,25 @@ func (s *Server) writeStats(w io.Writer) {
 	fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.cmdGet.Load())
 	fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.cmdSet.Load())
 	fmt.Fprintf(w, "STAT cmd_delete %d\r\n", s.cmdDelete.Load())
-		fmt.Fprintf(w, "STAT cmd_get_binary %d\r\n", s.binGet.Load())
-		fmt.Fprintf(w, "STAT cmd_set_binary %d\r\n", s.binSet.Load())
-		fmt.Fprintf(w, "STAT cmd_delete_binary %d\r\n", s.binDelete.Load())
-		fmt.Fprintf(w, "STAT binary_connections %d\r\n", s.connsBinary.Load())
+	fmt.Fprintf(w, "STAT cmd_get_binary %d\r\n", s.binGet.Load())
+	fmt.Fprintf(w, "STAT cmd_set_binary %d\r\n", s.binSet.Load())
+	fmt.Fprintf(w, "STAT cmd_delete_binary %d\r\n", s.binDelete.Load())
+	fmt.Fprintf(w, "STAT binary_connections %d\r\n", s.connsBinary.Load())
+}
+
+// snapshotAge converts a Stats.SnapshotUnixNano save time into whole
+// seconds of age, reporting ok=false when the cache never touched a
+// snapshot (the stat line is omitted entirely in that case, so clients
+// can distinguish "no snapshot" from "saved just now").
+func snapshotAge(savedAt int64) (int64, bool) {
+	if savedAt == 0 {
+		return 0, false
+	}
+	age := (time.Now().UnixNano() - savedAt) / int64(time.Second)
+	if age < 0 {
+		age = 0
+	}
+	return age, true
 }
 
 // boolStat renders a boolean as a 0/1 STAT value.

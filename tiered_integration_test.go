@@ -11,22 +11,11 @@ import (
 	"s3fifo/internal/server"
 )
 
-// startTiered brings up a server over a tiered cache on a real TCP
-// listener and returns a connected client plus a shutdown func.
-func startTiered(t *testing.T, dir, engine string) (*cache.Cache, *client.Client, func()) {
+// startServer brings up a server over c on a real TCP listener and
+// returns a connected client plus a shutdown func (which closes the
+// cache too).
+func startServer(t *testing.T, c *cache.Cache) (*client.Client, func()) {
 	t.Helper()
-	c, err := cache.New(cache.Config{
-		MaxBytes:          4 << 10,
-		Engine:            engine,
-		Shards:            2,
-		FlashDir:          dir,
-		FlashBytes:        512 << 10,
-		FlashSegmentBytes: 32 << 10,
-		Admission:         "all",
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	srv := server.New(c)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -37,28 +26,100 @@ func startTiered(t *testing.T, dir, engine string) (*cache.Cache, *client.Client
 	if err != nil {
 		t.Fatal(err)
 	}
-	return c, cl, func() {
+	return cl, func() {
 		cl.Close()
 		srv.Close()
 		c.Close()
 	}
 }
 
-// TestTieredEndToEnd drives a server with a flash tier over real TCP:
-// sets flood the small DRAM tier so evictions demote to flash, re-reads
-// come back correct from either tier, and the stats command reports the
-// per-tier counters consistently.
+// tieredStack describes one Tier backend under integration test. For
+// "remote" a DRAM-only peer server is stood up first and survives
+// front-cache restarts, playing the role the on-disk directory plays for
+// the flash and file tiers.
+type tieredStack struct {
+	tier string
+	// start builds the front cache + server for this backend. Calling it
+	// again models a restart of the front process over the same backend.
+	start func(t *testing.T, engine string) (*cache.Cache, *client.Client, func())
+}
+
+func newTieredStacks(t *testing.T) []tieredStack {
+	diskBacked := func(tier string) tieredStack {
+		dir := t.TempDir()
+		return tieredStack{tier: tier, start: func(t *testing.T, engine string) (*cache.Cache, *client.Client, func()) {
+			t.Helper()
+			c, err := cache.New(cache.Config{
+				MaxBytes:          4 << 10,
+				Engine:            engine,
+				Shards:            2,
+				Tier:              tier,
+				FlashDir:          dir,
+				FlashBytes:        512 << 10,
+				FlashSegmentBytes: 32 << 10,
+				Admission:         "all",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl, shutdown := startServer(t, c)
+			return c, cl, shutdown
+		}}
+	}
+	// The remote tier's peer: a plain DRAM cache big enough to hold
+	// every demotion, shared across front restarts.
+	peer, err := cache.New(cache.Config{MaxBytes: 512 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerSrv := server.New(peer)
+	peerL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go peerSrv.Serve(peerL)
+	t.Cleanup(func() {
+		peerSrv.Close()
+		peer.Close()
+	})
+	remote := tieredStack{tier: "remote", start: func(t *testing.T, engine string) (*cache.Cache, *client.Client, func()) {
+		t.Helper()
+		c, err := cache.New(cache.Config{
+			MaxBytes:  4 << 10,
+			Engine:    engine,
+			Shards:    2,
+			Tier:      "remote",
+			TierAddr:  peerL.Addr().String(),
+			Admission: "all",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, shutdown := startServer(t, c)
+		return c, cl, shutdown
+	}}
+	return []tieredStack{diskBacked("flash"), diskBacked("file"), remote}
+}
+
+// TestTieredEndToEnd drives a server with each second-tier backend over
+// real TCP: sets flood the small DRAM tier so evictions demote to the
+// tier, re-reads come back correct from either layer, and the stats
+// command reports the per-tier counters consistently. Restarting the
+// front stack over the same backend must keep serving tier-resident
+// values and must not resurrect deletes.
 func TestTieredEndToEnd(t *testing.T) {
 	for _, engine := range cache.Engines() {
-		t.Run("engine="+engine, func(t *testing.T) {
-			testTieredEndToEnd(t, engine)
-		})
+		for _, stack := range newTieredStacks(t) {
+			stack := stack
+			t.Run(fmt.Sprintf("engine=%s/tier=%s", engine, stack.tier), func(t *testing.T) {
+				testTieredEndToEnd(t, engine, stack)
+			})
+		}
 	}
 }
 
-func testTieredEndToEnd(t *testing.T, engine string) {
-	dir := t.TempDir()
-	_, cl, shutdown := startTiered(t, dir, engine)
+func testTieredEndToEnd(t *testing.T, engine string, stack tieredStack) {
+	_, cl, shutdown := stack.start(t, engine)
 
 	const n = 120
 	val := func(i int) []byte {
@@ -69,7 +130,8 @@ func testTieredEndToEnd(t *testing.T, engine string) {
 			t.Fatalf("set %d: ok=%v err=%v", i, ok, err)
 		}
 	}
-	// DRAM holds ~40 of these 120 entries; the rest must come off flash.
+	// DRAM holds ~40 of these 120 entries; the rest must come off the
+	// second tier.
 	missing := 0
 	for i := 0; i < n; i++ {
 		v, ok, err := cl.Get(fmt.Sprintf("key-%04d", i))
@@ -85,7 +147,7 @@ func testTieredEndToEnd(t *testing.T, engine string) {
 		}
 	}
 	if missing > 0 {
-		t.Errorf("%d of %d keys missing despite flash capacity for all", missing, n)
+		t.Errorf("%d of %d keys missing despite tier capacity for all", missing, n)
 	}
 
 	st, err := cl.ServerStats()
@@ -95,25 +157,38 @@ func testTieredEndToEnd(t *testing.T, engine string) {
 	if st.Engine != engine {
 		t.Errorf("server reports engine %q, want %q", st.Engine, engine)
 	}
+	if st.TierKind != stack.tier {
+		t.Errorf("server reports tier %q, want %q", st.TierKind, stack.tier)
+	}
 	if st.FlashHits == 0 {
-		t.Error("no flash hits over TCP")
+		t.Error("no tier hits over TCP")
 	}
 	if st.Demotions == 0 {
 		t.Error("no demotions recorded")
 	}
 	if st.Hits != st.DRAMHits+st.FlashHits {
-		t.Errorf("hits %d != dram %d + flash %d", st.Hits, st.DRAMHits, st.FlashHits)
+		t.Errorf("hits %d != dram %d + tier %d", st.Hits, st.DRAMHits, st.FlashHits)
 	}
-	if st.FlashBytesWritten == 0 || st.FlashSegments == 0 || st.FlashEntries == 0 {
-		t.Errorf("flash counters not reported: %+v", st)
+	if st.FlashBytesWritten == 0 {
+		t.Errorf("tier bytes-written not reported: %+v", st)
+	}
+	if stack.tier != "remote" && (st.FlashSegments == 0 || st.FlashEntries == 0) {
+		t.Errorf("tier counters not reported: %+v", st)
 	}
 	if st.Sets != n {
 		t.Errorf("sets = %d, want %d", st.Sets, n)
 	}
 
-	// Deletes must remove the flash copy too.
-	if ok, err := cl.Delete("key-0000"); err != nil || !ok {
-		t.Fatalf("delete: ok=%v err=%v", ok, err)
+	// Deletes must remove the tier copy too. The remote tier's Contains
+	// is false by design (an existence probe would transfer the value),
+	// so the DELETED/NOT_FOUND report can't see peer-only keys — the
+	// delete itself still propagates, which the Gets below verify.
+	ok, err := cl.Delete("key-0000")
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if !ok && stack.tier != "remote" {
+		t.Fatal("delete of a tier-resident key reported NOT_FOUND")
 	}
 	if _, ok, _ := cl.Get("key-0000"); ok {
 		t.Error("deleted key still served")
@@ -121,16 +196,17 @@ func testTieredEndToEnd(t *testing.T, engine string) {
 
 	shutdown()
 
-	// Restart the whole stack on the same flash dir: the recovered index
-	// must keep serving values that only live on flash.
-	_, cl2, shutdown2 := startTiered(t, dir, engine)
+	// Restart the front stack on the same backend: the recovered state
+	// (on-disk index, or the still-running peer) must keep serving values
+	// that only live in the tier.
+	_, cl2, shutdown2 := stack.start(t, engine)
 	defer shutdown2()
 	st2, err := cl2.ServerStats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st2.FlashEntries == 0 {
-		t.Fatal("no flash entries recovered after restart")
+	if stack.tier != "remote" && st2.FlashEntries == 0 {
+		t.Fatal("no tier entries recovered after restart")
 	}
 	hits := 0
 	for i := 1; i < n; i++ {
@@ -145,8 +221,12 @@ func testTieredEndToEnd(t *testing.T, engine string) {
 			}
 		}
 	}
-	if uint64(hits) < st2.FlashEntries {
-		t.Errorf("served %d keys after restart, flash recovered %d", hits, st2.FlashEntries)
+	if stack.tier == "remote" {
+		if hits == 0 {
+			t.Error("peer-resident values unreachable after front restart")
+		}
+	} else if uint64(hits) < st2.FlashEntries {
+		t.Errorf("served %d keys after restart, tier recovered %d", hits, st2.FlashEntries)
 	}
 	if _, ok, _ := cl2.Get("key-0000"); ok {
 		t.Error("tombstoned key resurrected by restart")
