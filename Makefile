@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race test-flash test-cluster test-tier tier1 bench bench-allocs bench-overhead throughput flashbench
+.PHONY: all build vet test test-race test-flash test-cluster test-tier test-serve tier1 bench bench-allocs bench-overhead throughput flashbench herdbench
 
 all: tier1
 
@@ -46,10 +46,20 @@ test-tier:
 test-cluster:
 	$(GO) test -race ./internal/hashring/... ./cluster/...
 
+# Race-detector pass over the anti-stampede serving stack: the miss
+# coalescer's concurrency properties (one fill slot per key, shared
+# failure, Delete-race no-resurrection, overflow degradation, lease
+# re-grant), the lease wire protocol (binary GETX/SETX and the text
+# dialect), the expiry-boundary fixed-clock suite, negative caching,
+# and the TCP herd harness end to end.
+test-serve:
+	$(GO) test -race -run 'Coalesce|Lease|Setx|Getx|Stale|Negative|ExpiryBoundary|AntiStampede' ./internal/server/ ./cache/ ./client/
+	$(GO) test -race -run 'Herd' ./internal/harness/
+
 # Tier-1 verification: everything must build and vet clean, the full
-# suite must pass, and the concurrent + tiered + cluster paths must be
-# race-clean.
-tier1: build vet test test-race test-flash test-tier test-cluster
+# suite must pass, and the concurrent + tiered + cluster + anti-stampede
+# paths must be race-clean.
+tier1: build vet test test-race test-flash test-tier test-cluster test-serve
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -73,3 +83,8 @@ throughput:
 # BENCH_flash.json.
 flashbench:
 	$(GO) run ./cmd/flashbench -real
+
+# Thundering-herd matrix (naive / jitter / coalesce / lease); writes
+# BENCH_herd.json.
+herdbench:
+	$(GO) run ./cmd/throughput -herd

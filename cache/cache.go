@@ -131,6 +131,19 @@ type Config struct {
 	FlashRetryMin time.Duration
 	FlashRetryMax time.Duration
 
+	// TTLJitter, in [0, 1], stretches every SetWithTTL deadline by a
+	// deterministic per-key fraction of the TTL in [0, TTLJitter). Keys
+	// written together with the same TTL then expire spread over the
+	// jitter window instead of at one instant — the cheap first defense
+	// against TTL-expiry thundering herds. 0 (default) disables jitter.
+	TTLJitter float64
+	// NegativeEntries bounds the negative cache — the side table of
+	// confirmed-missing keys recorded by SetNegative and consulted on the
+	// miss path. 0 means the default bound (4096 entries); the table is
+	// FIFO-bounded, never charged against MaxBytes, and never demoted to
+	// a second tier.
+	NegativeEntries int
+
 	// Metrics, when non-nil, registers the cache's metric catalog with
 	// the registry: hit/miss/set counters, the eviction-flow taxonomy,
 	// queue occupancy gauges, flash-tier counters, and sampled per-op
@@ -153,11 +166,23 @@ type Config struct {
 // Stats are cumulative counters since the cache was created.
 type Stats struct {
 	// Hits counts lookups served from either tier: DRAMHits + FlashHits.
+	// Stale serves (GetEx within the grace window) are counted separately
+	// in StaleServed — they are neither hits nor misses.
 	Hits      uint64
 	Misses    uint64
 	Sets      uint64
 	Evictions uint64
 	Expired   uint64
+
+	// Anti-stampede counters. StaleServed counts GetEx lookups answered
+	// with an expired value inside the grace window; NegativeHits counts
+	// misses short-circuited by a confirmed-missing tombstone (no tier
+	// I/O, also counted in Misses); NegativeSets counts SetNegative
+	// calls; NegativeEntries is the tombstone table's current size.
+	StaleServed     uint64
+	NegativeHits    uint64
+	NegativeSets    uint64
+	NegativeEntries int64
 
 	// Per-tier breakdown; all flash fields are zero without a second
 	// tier. The Flash* names are historical — they describe whichever
@@ -232,10 +257,18 @@ type Cache struct {
 	evictMu sync.Mutex
 	evictQ  []evictedPair
 
-	dramHits   atomic.Uint64
-	misses     atomic.Uint64
-	sets       atomic.Uint64
-	promotions atomic.Uint64
+	// Anti-stampede state: the negative-tombstone table (always present;
+	// free while empty) and the per-key TTL jitter fraction.
+	neg       *negCache
+	ttlJitter float64
+
+	dramHits     atomic.Uint64
+	misses       atomic.Uint64
+	sets         atomic.Uint64
+	promotions   atomic.Uint64
+	staleServed  atomic.Uint64
+	negativeHits atomic.Uint64
+	negativeSets atomic.Uint64
 }
 
 type evictedPair struct {
@@ -259,7 +292,14 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.MaxBytes == 0 {
 		return nil, fmt.Errorf("cache: MaxBytes must be positive")
 	}
-	c := &Cache{onEvict: cfg.OnEvict}
+	if cfg.TTLJitter < 0 || cfg.TTLJitter > 1 {
+		return nil, fmt.Errorf("cache: TTLJitter must be in [0, 1], got %v", cfg.TTLJitter)
+	}
+	c := &Cache{
+		onEvict:   cfg.OnEvict,
+		neg:       newNegCache(cfg.NegativeEntries),
+		ttlJitter: cfg.TTLJitter,
+	}
 	tier, err := newSecondTier(cfg)
 	if err != nil {
 		return nil, err
@@ -401,6 +441,17 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		}
 		return v, true
 	}
+	// A confirmed-missing tombstone answers before any tier I/O: the
+	// negative cache exists precisely to keep repeated misses for absent
+	// keys off the slower layers.
+	if c.neg.hit(key, now().UnixNano()) {
+		c.negativeHits.Add(1)
+		c.misses.Add(1)
+		if !start.IsZero() {
+			c.metrics.end("get", key, start, "miss")
+		}
+		return nil, false
+	}
 	if c.tier == nil || !c.tier.available() {
 		// No second tier, or the tier is degraded: a degraded tier is
 		// bypassed entirely — its index may hold copies superseded during
@@ -415,9 +466,16 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	// network I/O. Its outcome feeds the breaker — a run of read errors
 	// (a dead disk, an unreachable peer) must trip degraded mode even if
 	// no demotion happens to be in flight.
+	//
+	// The facade re-judges the returned expiry against the shared clock
+	// (expiredAt): a key that expired while its demotion was in flight
+	// reaches the tier with its deadline intact, and the tier backend's
+	// own expiry handling must not be the only defense (a mock tier, or a
+	// backend with a skewed clock, would otherwise serve it — see
+	// TestExpiryBoundary*).
 	v, expires, ok, err := c.tier.t.Get(key)
 	c.tier.br.note(err)
-	if !ok {
+	if !ok || expiredAt(expires, now().UnixNano()) {
 		c.misses.Add(1)
 		if !start.IsZero() {
 			c.metrics.end("get", key, start, "miss")
@@ -440,6 +498,82 @@ func (c *Cache) promote(key string, value []byte, expires int64) {
 	c.promotions.Add(1)
 	c.engine.Add(key, value, expires)
 	c.drainEvictions()
+}
+
+// LookupState classifies a GetEx outcome.
+type LookupState int
+
+const (
+	// LookupMiss: no usable value; the caller should consult the backend.
+	LookupMiss LookupState = iota
+	// LookupHit: a fresh value was returned.
+	LookupHit
+	// LookupStale: the value's TTL has passed but it is within the grace
+	// window — usable for stale-while-revalidate serving while a refill
+	// is in flight.
+	LookupStale
+	// LookupNegative: the key is tombstoned as confirmed-missing; the
+	// caller should treat it as absent without consulting the backend.
+	LookupNegative
+)
+
+// GetEx is Get with stale-while-revalidate semantics: an entry whose TTL
+// passed no more than grace ago is returned with LookupStale instead of
+// being reaped, and confirmed-missing keys (SetNegative) report
+// LookupNegative without any tier I/O. Fresh lookups behave exactly like
+// Get (hit counting, promotion, eviction-state access). An expired
+// resident entry beyond the grace window is reaped and reported as a
+// miss; the second tier is not consulted in that case, because a demoted
+// copy carries the same deadline and cannot be fresher than the resident
+// one.
+func (c *Cache) GetEx(key string, grace time.Duration) ([]byte, LookupState) {
+	nowNano := now().UnixNano()
+	if v, exp, ok := c.engine.GetStale(key); ok {
+		if !expiredAt(exp, nowNano) {
+			c.dramHits.Add(1)
+			return v, LookupHit
+		}
+		if grace > 0 && !expiredAt(exp+int64(grace), nowNano) {
+			c.staleServed.Add(1)
+			return v, LookupStale
+		}
+		// Beyond grace: reap through the plain lookup path (which treats
+		// the expired entry exactly as Get would) and report a miss.
+		c.engine.Get(key)
+		c.misses.Add(1)
+		return nil, LookupMiss
+	}
+	if c.neg.hit(key, nowNano) {
+		c.negativeHits.Add(1)
+		c.misses.Add(1)
+		return nil, LookupNegative
+	}
+	if c.tier == nil || !c.tier.available() {
+		c.misses.Add(1)
+		return nil, LookupMiss
+	}
+	v, expires, ok, err := c.tier.t.Get(key)
+	c.tier.br.note(err)
+	if !ok || expiredAt(expires, now().UnixNano()) {
+		c.misses.Add(1)
+		return nil, LookupMiss
+	}
+	c.promote(key, v, expires)
+	return v, LookupHit
+}
+
+// SetNegative tombstones key as confirmed-missing for ttl: until it
+// expires, lookups answer miss (LookupNegative from GetEx) without
+// consulting the second tier. The tombstone lives in a small bounded
+// side table — never in the eviction queues, never demoted to a second
+// tier — and is cleared by any Set or Delete of the key. A non-positive
+// ttl is a no-op.
+func (c *Cache) SetNegative(key string, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	c.negativeSets.Add(1)
+	c.neg.set(key, ttl, now().UnixNano())
 }
 
 // Set stores value under key, evicting other entries as needed. It
@@ -466,6 +600,8 @@ func (c *Cache) set(key string, value []byte, expiresAt int64) bool {
 		start = time.Now()
 	}
 	ok := c.engine.Set(key, value, expiresAt)
+	// A stored value supersedes any confirmed-missing verdict.
+	c.neg.clear(key)
 	if c.tier != nil {
 		if expiresAt == 0 {
 			c.tier.onSet(key, hashString(key), value, ok)
@@ -492,6 +628,7 @@ func (c *Cache) Delete(key string) {
 		start = time.Now()
 	}
 	c.engine.Delete(key)
+	c.neg.clear(key)
 	if c.tier != nil {
 		c.tier.invalidate(key)
 	}
@@ -539,6 +676,10 @@ func (c *Cache) Stats() Stats {
 	out.Evictions = c.engine.Evictions()
 	out.Expired = c.engine.Expired()
 	out.Hits = out.DRAMHits
+	out.StaleServed = c.staleServed.Load()
+	out.NegativeHits = c.negativeHits.Load()
+	out.NegativeSets = c.negativeSets.Load()
+	out.NegativeEntries = c.neg.entries.Load()
 	out.SnapshotUnixNano = c.snapshotAt.Load()
 	if c.tier != nil {
 		tst := c.tier.t.Stats()

@@ -23,6 +23,12 @@ type Engine interface {
 	// Get returns the value for key and whether it was resident and
 	// unexpired. Expired entries are reaped lazily.
 	Get(key string) ([]byte, bool)
+	// GetStale returns key's resident value and absolute expiry (0 = no
+	// TTL) even when the TTL has passed, without reaping it — the
+	// stale-while-revalidate read. Freshness is the caller's judgment:
+	// the facade applies the shared expiry boundary (expiredAt) and the
+	// grace window. Like Get it counts as an access for eviction state.
+	GetStale(key string) (value []byte, expiresAt int64, ok bool)
 	// Set inserts or replaces key with the given absolute expiry in unix
 	// nanoseconds (0 = no TTL). It returns false when the entry cannot fit
 	// (oversized for the engine's sharding), in which case any stale copy

@@ -40,6 +40,10 @@ func (e *concurrentEngine) Name() string { return "concurrent" }
 
 func (e *concurrentEngine) Get(key string) ([]byte, bool) { return e.kv.Get(key) }
 
+func (e *concurrentEngine) GetStale(key string) ([]byte, int64, bool) {
+	return e.kv.GetStale(key)
+}
+
 func (e *concurrentEngine) Set(key string, value []byte, expiresAt int64) bool {
 	return e.kv.Set(key, value, expiresAt)
 }

@@ -46,10 +46,11 @@ type pentry struct {
 	expiresAt int64 // unix nanoseconds; 0 = no TTL
 }
 
-// expired reports whether e has a TTL that has passed (strictly: at the
-// exact expiry instant the entry still serves).
+// expired reports whether e has a TTL that has passed, per the shared
+// expiredAt boundary (strictly: at the exact expiry instant the entry
+// still serves).
 func (e *pentry) expired() bool {
-	return e.expiresAt != 0 && now().UnixNano() > e.expiresAt
+	return expiredAt(e.expiresAt, now().UnixNano())
 }
 
 func newPolicyEngine(cfg engineConfig) (Engine, error) {
@@ -148,6 +149,21 @@ func (pe *policyEngine) Get(key string) ([]byte, bool) {
 	}
 	s.pol.Request(e.id, e.size) // resident: pure hit, no insertion
 	return e.value, true
+}
+
+// GetStale implements Engine: the lookup without the lazy expiry reap.
+// The policy access still fires — a stale serve is reuse evidence, and
+// the lease holder's refill replaces this entry in place.
+func (pe *policyEngine) GetStale(key string) ([]byte, int64, bool) {
+	s := pe.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, 0, false
+	}
+	s.pol.Request(e.id, e.size)
+	return e.value, e.expiresAt, true
 }
 
 func (pe *policyEngine) Set(key string, value []byte, expiresAt int64) bool {

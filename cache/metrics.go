@@ -134,6 +134,20 @@ func registerCacheFuncs(reg *telemetry.Registry, c *Cache) {
 	reg.CounterFunc("cache_sets_total", "Set and SetWithTTL calls.",
 		nil, func() uint64 { return c.sets.Load() })
 
+	// Anti-stampede families (DESIGN.md §14).
+	reg.CounterFunc("cache_stale_served_total",
+		"GetEx lookups answered with an expired value inside the grace window.",
+		nil, func() uint64 { return c.staleServed.Load() })
+	reg.CounterFunc("cache_negative_hits_total",
+		"Misses short-circuited by a confirmed-missing tombstone (no tier I/O).",
+		nil, func() uint64 { return c.negativeHits.Load() })
+	reg.CounterFunc("cache_negative_sets_total",
+		"SetNegative calls recording a confirmed-missing key.",
+		nil, func() uint64 { return c.negativeSets.Load() })
+	reg.GaugeFunc("cache_negative_entries",
+		"Confirmed-missing tombstones currently held.",
+		nil, func() float64 { return float64(c.neg.entries.Load()) })
+
 	evHelp := "Entry removals and queue transitions by cause; see DESIGN.md §9 for the mapping onto S3-FIFO's Algorithm 1."
 	for _, rr := range reasonReaders {
 		read := rr.read

@@ -203,9 +203,10 @@ func (t *secondTier) demote(ev EngineEviction) bool {
 }
 
 // expired reports whether the evicted entry's TTL had already passed at
-// eviction time (such victims are never worth a tier write).
+// eviction time, per the shared expiredAt boundary (such victims are
+// never worth a tier write).
 func (ev EngineEviction) expired() bool {
-	return ev.ExpiresAt != 0 && now().UnixNano() > ev.ExpiresAt
+	return expiredAt(ev.ExpiresAt, now().UnixNano())
 }
 
 // onSet runs after an engine Set: the new value supersedes any tier

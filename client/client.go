@@ -582,6 +582,22 @@ type ServerStats struct {
 	CmdGet              uint64
 	CmdSet              uint64
 	CmdDelete           uint64
+	CmdGetx             uint64
+	CmdSetx             uint64
+
+	// Anti-stampede counters (DESIGN.md §14). Lease/coalesce fields are
+	// zero when the server runs without WithAntiStampede.
+	StaleServed        uint64 // expired values served within the grace window
+	NegativeHits       uint64 // lookups answered from a negative tombstone
+	NegativeSets       uint64 // negative fills recorded
+	LeaseGrants        uint64
+	LeaseRegrants      uint64
+	LeaseRedeems       uint64
+	LeaseRejects       uint64
+	LeaseInvalidations uint64
+	CoalescedWaits     uint64
+	CoalesceOverflows  uint64
+	CoalesceInflight   uint64
 }
 
 // ServerStats fetches the server's counters into a typed struct. Stat
@@ -641,6 +657,20 @@ func (c *Client) ServerStats() (ServerStats, error) {
 		CmdGet:              m["cmd_get"],
 		CmdSet:              m["cmd_set"],
 		CmdDelete:           m["cmd_delete"],
+		CmdGetx:             m["cmd_getx"],
+		CmdSetx:             m["cmd_setx"],
+
+		StaleServed:        m["stale_served"],
+		NegativeHits:       m["negative_hits"],
+		NegativeSets:       m["negative_sets"],
+		LeaseGrants:        m["lease_grants"],
+		LeaseRegrants:      m["lease_regrants"],
+		LeaseRedeems:       m["lease_redeems"],
+		LeaseRejects:       m["lease_rejects"],
+		LeaseInvalidations: m["lease_invalidations"],
+		CoalescedWaits:     m["coalesced_waits"],
+		CoalesceOverflows:  m["coalesce_overflows"],
+		CoalesceInflight:   m["coalesce_inflight"],
 	}, nil
 }
 

@@ -516,6 +516,8 @@ type NodeStats struct {
 	RoutedGets    uint64
 	RoutedSets    uint64
 	RoutedDeletes uint64
+	RoutedGetx    uint64
+	RoutedSetx    uint64
 	Errors        uint64
 	BreakerTrips  uint64
 	Restores      uint64
@@ -557,6 +559,8 @@ func (c *Client) Stats() Stats {
 			RoutedGets:    n.routedGet.Load(),
 			RoutedSets:    n.routedSet.Load(),
 			RoutedDeletes: n.routedDelete.Load(),
+			RoutedGetx:    n.routedGetx.Load(),
+			RoutedSetx:    n.routedSetx.Load(),
 			Errors:        n.errors.Load(),
 			BreakerTrips:  n.trips.Load(),
 			Restores:      n.restores.Load(),
@@ -615,6 +619,10 @@ func (c *Client) registerNodeMetrics(addr string) {
 		func(n *node) uint64 { return n.routedSet.Load() })
 	counter("cluster_node_routed_total", "operations routed to the node", "delete",
 		func(n *node) uint64 { return n.routedDelete.Load() })
+	counter("cluster_node_routed_total", "operations routed to the node", "getx",
+		func(n *node) uint64 { return n.routedGetx.Load() })
+	counter("cluster_node_routed_total", "operations routed to the node", "setx",
+		func(n *node) uint64 { return n.routedSetx.Load() })
 	counter("cluster_node_errors_total", "operations failed against the node", "",
 		func(n *node) uint64 { return n.errors.Load() })
 	counter("cluster_node_breaker_trips_total", "times the node breaker opened", "",

@@ -46,6 +46,8 @@ type node struct {
 	routedGet    atomic.Uint64
 	routedSet    atomic.Uint64
 	routedDelete atomic.Uint64
+	routedGetx   atomic.Uint64
+	routedSetx   atomic.Uint64
 	errors       atomic.Uint64
 	trips        atomic.Uint64
 	restores     atomic.Uint64

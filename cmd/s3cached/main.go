@@ -95,6 +95,12 @@ func main() {
 	nodeID := flag.String("node-id", "",
 		"cluster node identity surfaced in stats, /stats, and /healthz (default: the listen address)")
 	slowOp := flag.Duration("slow-op", 0, "log cache operations at or above this duration (0 disables; times every op)")
+	ttlJitter := flag.Float64("ttl-jitter", 0, "per-key TTL spread fraction in [0,1] (0.05 = up to +5%); desynchronizes mass expiry")
+	antiStampede := flag.Bool("anti-stampede", false, "enable miss coalescing and GETX/SETX leases")
+	coalesceWait := flag.Duration("coalesce-wait", 0, "max time a coalesced GET miss waits on the in-flight fill (0 = 50ms default)")
+	grace := flag.Duration("grace", 0, "stale-while-revalidate window for getx (0 disables stale serving)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "fill-lease exclusivity window (0 = 2s default)")
+	negativeTTL := flag.Duration("negative-ttl", 0, "default negative-cache tombstone TTL (0 = 5s default)")
 	flag.Parse()
 	// Flag semantics: 0 disables. Config semantics: 0 means default,
 	// negative disables. Map the operator-friendly form onto the config.
@@ -135,6 +141,7 @@ func main() {
 		Metrics:               reg,
 		SlowOpThreshold:       *slowOp,
 		SlowOpLog:             slowLog,
+		TTLJitter:             *ttlJitter,
 	}
 	// Warm restart: restore the previous process's metadata snapshot when
 	// one exists. A missing file is the normal first boot; a corrupt one
@@ -158,11 +165,22 @@ func main() {
 	if err != nil {
 		log.Fatal("s3cached: ", err)
 	}
-	srv := server.New(c,
+	srvOpts := []server.Option{
 		server.WithMaxConns(*maxConns),
 		server.WithConnTimeout(*connTimeout),
 		server.WithProtocol(*protoMode),
-		server.WithNodeID(*nodeID))
+		server.WithNodeID(*nodeID),
+	}
+	if *antiStampede {
+		srvOpts = append(srvOpts, server.WithAntiStampede(server.AntiStampede{
+			Coalesce:     true,
+			CoalesceWait: *coalesceWait,
+			LeaseTTL:     *leaseTTL,
+			Grace:        *grace,
+			NegativeTTL:  *negativeTTL,
+		}))
+	}
+	srv := server.New(c, srvOpts...)
 	if *adminAddr != "" {
 		srv.RegisterMetrics(reg)
 		handler := server.AdminHandler(srv, reg)

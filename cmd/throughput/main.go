@@ -206,7 +206,16 @@ func main() {
 	overheadOnly := flag.Bool("overhead-only", false, "run only the telemetry-overhead measurement")
 	overheadOps := flag.Int("overhead-ops", 1_000_000, "operations per telemetry-overhead run")
 	overheadMaxPct := flag.Float64("overhead-max-pct", 0, "exit nonzero when telemetry overhead exceeds this percentage (0 disables the gate)")
+	herd := flag.Bool("herd", false, "run only the thundering-herd scenario matrix (synchronized hot-set expiry; modes off/jitter/coalesce/lease)")
+	herdJSON := flag.String("herd-json", "BENCH_herd.json", "write the herd matrix as JSON to this path (empty disables)")
+	herdHot := flag.Int("herd-hot", 1000, "hot-set size for the herd scenario")
+	herdWorkers := flag.Int("herd-workers", 8, "concurrent sweep clients in the herd scenario")
 	flag.Parse()
+
+	if *herd {
+		runHerd(*herdHot, *herdWorkers, *herdJSON)
+		return
+	}
 
 	threads := parseInts("threads", *threadsFlag)
 	shards := parseInts("shards", *shardsFlag)
@@ -449,6 +458,74 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", *jsonPath, len(out.Rows))
+	}
+}
+
+// herdFile is the BENCH_herd.json layout: the thundering-herd scenario
+// matrix (internal/harness Herd), one row per serving mode.
+type herdFile struct {
+	HotKeys int                  `json:"hot_keys"`
+	Workers int                  `json:"workers"`
+	Note    string               `json:"note"`
+	Rows    []harness.HerdResult `json:"rows"`
+}
+
+// runHerd sweeps the herd scenario across the serving modes: the naive
+// baseline, TTL jitter alone (attacking the synchronized expiry), plain
+// miss coalescing, and the full lease protocol.
+func runHerd(hot, workers int, jsonPath string) {
+	type variant struct {
+		label  string
+		mode   string
+		jitter float64
+	}
+	variants := []variant{
+		{"off", "off", 0},
+		{"off+jitter", "off", 0.2},
+		{"coalesce", "coalesce", 0},
+		{"lease", "lease", 0},
+	}
+	out := herdFile{
+		HotKeys: hot, Workers: workers,
+		Note: "synchronized expiry of the hot set, swept by all workers at once over " +
+			"loopback TCP (pipelined binary); amplification = backend fills of hot " +
+			"keys / unique hot keys (1.0 = perfectly coalesced, workers = naive worst " +
+			"case); missing-key probes show negative caching; background one-hit-wonder " +
+			"and burst-scan traffic runs throughout; the jitter row demonstrates that " +
+			"spreading TTLs attacks calendar-synchronized expiry but cannot reduce " +
+			"amplification when clients demand the same keys at the same instant — " +
+			"that takes coalescing or leases",
+	}
+	fmt.Println("==== thundering herd (synchronized hot-set expiry) ====")
+	fmt.Println("mode         amplif.  hot-fills  stale-served  neg-hits  miss-probes/lookups  errors   elapsed")
+	for _, v := range variants {
+		r, err := harness.Herd(harness.HerdConfig{
+			HotKeys: hot, Workers: workers, Mode: v.mode, TTLJitter: v.jitter,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		r.Mode = v.label
+		fmt.Printf("%-12s %7.2f  %9d  %12d  %8d  %9d/%-9d  %6d  %8v\n",
+			v.label, r.Amplification, r.HotFills, r.StaleServed, r.NegativeHits,
+			r.MissingProbes, r.MissingLookups, r.ClientErrors,
+			r.Elapsed.Round(time.Millisecond))
+		out.Rows = append(out.Rows, r)
+	}
+	fmt.Println()
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", jsonPath, len(out.Rows))
 	}
 }
 

@@ -298,6 +298,31 @@ func (c *KV) Get(key string) ([]byte, bool) {
 	return *v, true
 }
 
+// GetStale returns key's resident value and absolute expiry (0 = no TTL)
+// without the lazy TTL reap: an expired entry is returned as-is, so the
+// stale-while-revalidate path can serve it while a lease holder refills.
+// The frequency bump matches Get — a stale serve is still evidence of
+// reuse, and the refill lands as an in-place replacement of this entry.
+func (c *KV) GetStale(key string) ([]byte, int64, bool) {
+	h := hashKV(key)
+	e, ok := c.index.get(h)
+	if !ok || e.dead.Load() || e.key != key {
+		return nil, 0, false
+	}
+	v := e.value.Load()
+	exp := e.expires.Load()
+	for {
+		f := e.freq.Load()
+		if f >= ccMaxFreq {
+			break
+		}
+		if e.freq.CompareAndSwap(f, f+1) {
+			break
+		}
+	}
+	return *v, exp, true
+}
+
 // Contains reports whether key is resident and unexpired, without
 // touching its frequency.
 func (c *KV) Contains(key string) bool {

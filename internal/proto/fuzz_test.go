@@ -19,6 +19,15 @@ func FuzzFrame(f *testing.F) {
 	f.Add(byte(OpDelete), uint32(0), uint32(0xffffffff), []byte("k"), []byte(nil))
 	f.Add(byte(OpStats), uint32(0), uint32(0), []byte(nil), []byte(nil))
 	f.Add(byte(OpPing), uint32(9), uint32(3), []byte(nil), []byte(nil))
+	// Lease-protocol seeds: GETX with a grace window, SETX with a token
+	// prefix, a negative SETX (flagged TTL, bare token), and malformed
+	// variants (short token, negative fill smuggling a payload).
+	f.Add(byte(OpGetx), uint32(30), uint32(4), []byte("key"), []byte(nil))
+	f.Add(byte(OpSetx), uint32(60), uint32(5), []byte("key"), []byte("tokens!!payload"))
+	f.Add(byte(OpSetx), SetxNegativeFlag|5, uint32(6), []byte("key"), []byte("tokens!!"))
+	f.Add(byte(0), uint32(0), uint32(0), []byte{0x80, 7, 0, 1, 0, 0, 0, 30, 0, 0, 0, 4, 0, 0, 0, 1, 'k'}, []byte(nil))
+	f.Add(byte(0), uint32(0), uint32(0), []byte{0x80, 8, 0, 1, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 1, 'k'}, []byte(nil))
+	f.Add(byte(0), uint32(0), uint32(0), []byte{0x80, 8, 0, 1, 0x80, 0, 0, 0, 0, 0, 0, 16, 0, 0, 0, 1, 'k'}, []byte(nil))
 	// Adversarial raw-frame seeds, smuggled through the same tuple: the
 	// key bytes double as the raw input in the backward direction.
 	f.Add(byte(0), uint32(0), uint32(0), []byte("\x80\x01\xff\xff\x00\x00\x00\x00\xff\xff\xff\xff\x00\x00\x00\x01"), []byte(nil))
@@ -34,10 +43,10 @@ func FuzzFrame(f *testing.F) {
 		if len(value) > 1<<16 { // keep the corpus small; MaxValueLen is covered below
 			value = value[:1<<16]
 		}
-		fop := Op(1 + op%5)
+		fop := Op(1 + op%8)
 		fkey, fvalue := key, value
 		switch fop {
-		case OpGet, OpDelete:
+		case OpGet, OpDelete, OpGetx:
 			if len(fkey) == 0 {
 				fkey = []byte("k")
 			}
@@ -46,7 +55,19 @@ func FuzzFrame(f *testing.F) {
 			if len(fkey) == 0 {
 				fkey = []byte("k")
 			}
-		case OpStats, OpPing:
+		case OpSetx:
+			// Clamp into the op's framing rules: token prefix always
+			// present, and a negative fill (TTL bit 31) carries no payload.
+			if len(fkey) == 0 {
+				fkey = []byte("k")
+			}
+			tokenized := make([]byte, LeaseTokenLen+len(fvalue))
+			copy(tokenized[LeaseTokenLen:], fvalue)
+			fvalue = tokenized
+			if ttl&SetxNegativeFlag != 0 {
+				fvalue = fvalue[:LeaseTokenLen]
+			}
+		case OpStats, OpPing, OpKeys:
 			fkey, fvalue = nil, nil
 		}
 		frame := AppendRequest(nil, fop, ttl, id, string(fkey), fvalue)
@@ -62,12 +83,13 @@ func FuzzFrame(f *testing.F) {
 			t.Fatal("request body mismatch")
 		}
 
-		rframe := AppendResponse(nil, Status(op%4), id, value)
+		fst := Status(op % (uint8(maxStatus) + 1))
+		rframe := AppendResponse(nil, fst, id, value)
 		rh, err := ParseResponseHeader(rframe)
 		if err != nil {
 			t.Fatalf("valid response rejected: %v", err)
 		}
-		if rh.Status != Status(op%4) || rh.ID != id || rh.ValueLen != len(value) {
+		if rh.Status != fst || rh.ID != id || rh.ValueLen != len(value) {
 			t.Fatalf("response round trip mismatch: %+v", rh)
 		}
 
@@ -76,7 +98,12 @@ func FuzzFrame(f *testing.F) {
 		// re-encodable lengths.
 		raw := key
 		if rh, err := ParseRequestHeader(raw); err == nil {
-			if rh.KeyLen > MaxKeyLen || rh.ValueLen > MaxValueLen || rh.KeyLen < 0 || rh.ValueLen < 0 {
+			// SETX's ceiling is LeaseTokenLen wider (token + max payload).
+			maxV := MaxValueLen
+			if rh.Op == OpSetx {
+				maxV = MaxValueLen + LeaseTokenLen
+			}
+			if rh.KeyLen > MaxKeyLen || rh.ValueLen > maxV || rh.KeyLen < 0 || rh.ValueLen < 0 {
 				t.Fatalf("accepted header with unsafe lengths: %+v", rh)
 			}
 			reenc := AppendRequest(nil, rh.Op, rh.TTL, rh.ID,

@@ -60,6 +60,19 @@ const (
 	OpStats  Op = 4 // no key; response OK with "STAT <name> <value>" lines as the value
 	OpPing   Op = 5 // no key; response OK (liveness / latency probe)
 	OpKeys   Op = 6 // no key; TTL field = max samples; response OK with "KEY <freq> <key>" lines
+	OpGetx   Op = 7 // key; TTL field = grace seconds; response OK+value, Stale+value, Lease+token, or Miss
+	OpSetx   Op = 8 // key, value = lease token ++ payload, TTL field low 31 bits = seconds, bit 31 = negative fill
+)
+
+// Lease-protocol framing. A GETX response with StatusLease carries an
+// opaque LeaseTokenLen-byte token as its value; the holder redeems it
+// with SETX, whose value bytes are the token followed by the payload.
+// A SETX with SetxNegativeFlag set in the TTL field carries no payload
+// after the token and records a negative (confirmed-missing) entry.
+const (
+	LeaseTokenLen     = 8
+	SetxNegativeFlag  = uint32(1) << 31
+	SetxTTLSecondsMax = SetxNegativeFlag - 1
 )
 
 // String returns the opcode's wire-protocol name.
@@ -77,6 +90,10 @@ func (o Op) String() string {
 		return "ping"
 	case OpKeys:
 		return "keys"
+	case OpGetx:
+		return "getx"
+	case OpSetx:
+		return "setx"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -85,10 +102,15 @@ func (o Op) String() string {
 type Status byte
 
 const (
-	StatusOK        Status = 0 // hit / stored / deleted / pong
-	StatusMiss      Status = 1 // GET miss, DELETE of an absent key
-	StatusNotStored Status = 2 // SET declined (entry larger than the cache)
-	StatusErr       Status = 3 // protocol error; message in the value bytes
+	StatusOK           Status = 0 // hit / stored / deleted / pong
+	StatusMiss         Status = 1 // GET miss, DELETE of an absent key
+	StatusNotStored    Status = 2 // SET declined (entry larger than the cache)
+	StatusErr          Status = 3 // protocol error; message in the value bytes
+	StatusStale        Status = 4 // GETX: expired value served within the grace window
+	StatusLease        Status = 5 // GETX: miss; value bytes are a lease token — caller should fill
+	StatusLeaseInvalid Status = 6 // SETX: token expired, superseded, or invalidated by a delete
+
+	maxStatus = StatusLeaseInvalid
 )
 
 // Decode errors. A frame that fails header validation cannot be framed
@@ -139,7 +161,13 @@ func ParseRequestHeader(b []byte) (RequestHeader, error) {
 	if h.KeyLen > MaxKeyLen {
 		return RequestHeader{}, ErrKeyTooLong
 	}
-	if h.ValueLen > MaxValueLen {
+	// The value-length ceiling is per-op: SETX frames carry the lease
+	// token in front of the payload, so their limit is token-width wider.
+	maxValue := MaxValueLen
+	if h.Op == OpSetx {
+		maxValue = MaxValueLen + LeaseTokenLen
+	}
+	if h.ValueLen > maxValue {
 		return RequestHeader{}, ErrValueTooLong
 	}
 	switch h.Op {
@@ -147,8 +175,22 @@ func ParseRequestHeader(b []byte) (RequestHeader, error) {
 		if h.KeyLen == 0 || h.ValueLen != 0 {
 			return RequestHeader{}, ErrBadFrame
 		}
+	case OpGetx:
+		// The TTL field carries the requested grace window in seconds.
+		if h.KeyLen == 0 || h.ValueLen != 0 {
+			return RequestHeader{}, ErrBadFrame
+		}
 	case OpSet:
 		if h.KeyLen == 0 {
+			return RequestHeader{}, ErrBadFrame
+		}
+	case OpSetx:
+		// The value must hold at least the lease token; a negative fill
+		// confirms absence, so it must carry no payload after the token.
+		if h.KeyLen == 0 || h.ValueLen < LeaseTokenLen {
+			return RequestHeader{}, ErrBadFrame
+		}
+		if h.TTL&SetxNegativeFlag != 0 && h.ValueLen != LeaseTokenLen {
 			return RequestHeader{}, ErrBadFrame
 		}
 	case OpStats, OpPing, OpKeys:
@@ -172,7 +214,7 @@ func ParseResponseHeader(b []byte) (ResponseHeader, error) {
 	if b[0] != MagicResp {
 		return ResponseHeader{}, ErrBadMagic
 	}
-	if Status(b[1]) > StatusErr {
+	if Status(b[1]) > maxStatus {
 		return ResponseHeader{}, ErrBadStatus
 	}
 	h := ResponseHeader{
@@ -222,6 +264,21 @@ func AppendResponse(dst []byte, status Status, id uint32, value []byte) []byte {
 	PutResponseHeader(hdr[:], status, id, len(value))
 	dst = append(dst, hdr[:]...)
 	return append(dst, value...)
+}
+
+// PutLeaseToken encodes a lease token into dst, which must be at least
+// LeaseTokenLen bytes.
+func PutLeaseToken(dst []byte, token uint64) {
+	binary.BigEndian.PutUint64(dst[:LeaseTokenLen], token)
+}
+
+// ParseLeaseToken decodes a lease token from the front of b. It reports
+// false when b is too short to hold one.
+func ParseLeaseToken(b []byte) (uint64, bool) {
+	if len(b) < LeaseTokenLen {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(b[:LeaseTokenLen]), true
 }
 
 // bufPool recycles frame-encode buffers. Clients encode each request

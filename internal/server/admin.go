@@ -88,6 +88,22 @@ func (s *Server) statsJSON() map[string]any {
 		"cmd_get":                s.cmdGet.Load(),
 		"cmd_set":                s.cmdSet.Load(),
 		"cmd_delete":             s.cmdDelete.Load(),
+		"cmd_getx":               s.cmdGetx.Load(),
+		"cmd_setx":               s.cmdSetx.Load(),
+		"stale_served":           st.StaleServed,
+		"negative_hits":          st.NegativeHits,
+		"negative_sets":          st.NegativeSets,
+		"negative_entries":       st.NegativeEntries,
+	}
+	if co := s.co; co != nil {
+		out["lease_grants"] = co.grants.Load()
+		out["lease_regrants"] = co.regrants.Load()
+		out["lease_redeems"] = co.redeems.Load()
+		out["lease_rejects"] = co.rejects.Load()
+		out["lease_invalidations"] = co.invalidations.Load()
+		out["coalesced_waits"] = co.waits.Load()
+		out["coalesce_overflows"] = co.overflows.Load()
+		out["coalesce_inflight"] = co.inflight()
 	}
 	if s.nodeID != "" {
 		out["node_id"] = s.nodeID

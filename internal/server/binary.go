@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"s3fifo/internal/proto"
@@ -16,9 +17,18 @@ import (
 // distinct key per connection instead of one per request. The scratch
 // array holds outgoing response headers so encoding never touches the
 // heap.
+//
+// wmu serializes the buffered writer between the connection goroutine
+// and the parked-lookup responder goroutines (coalesced GETs and GETX
+// followers answer out of order, from their own goroutine, once the
+// in-flight fill resolves — the frame loop must not block on them, and
+// they cannot wait for the frame loop, which may itself be blocked
+// reading). Uncontended lock/unlock costs nothing the allocation gates
+// can see.
 type binConn struct {
 	intern  *proto.Interner
 	scratch [proto.HeaderLen]byte
+	wmu     sync.Mutex
 }
 
 func newBinConn() *binConn {
@@ -39,16 +49,25 @@ func (s *Server) handleBinary(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 		}
 		// About to block for the next header? Ship the batched responses
 		// first, or a windowed client would wait on us while we wait on it.
-		if r.Buffered() < proto.HeaderLen && w.Buffered() > 0 {
-			if s.connTimeout > 0 {
-				conn.SetWriteDeadline(time.Now().Add(s.connTimeout))
+		if r.Buffered() < proto.HeaderLen {
+			bc.wmu.Lock()
+			var err error
+			if w.Buffered() > 0 {
+				if s.connTimeout > 0 {
+					conn.SetWriteDeadline(time.Now().Add(s.connTimeout))
+				}
+				err = w.Flush()
 			}
-			if err := w.Flush(); err != nil {
+			bc.wmu.Unlock()
+			if err != nil {
 				return
 			}
 		}
 		if fatal := s.dispatchBinary(r, w, bc); fatal {
-			w.Flush() // best effort: deliver the error frame / final batch
+			// Best effort: deliver the error frame / final batch.
+			bc.wmu.Lock()
+			w.Flush()
+			bc.wmu.Unlock()
 			return
 		}
 	}
@@ -81,6 +100,11 @@ func (s *Server) dispatchBinary(r *bufio.Reader, w *bufio.Writer, bc *binConn) (
 		s.binGet.Add(1)
 		if v, ok := s.cache.Get(key); ok {
 			s.binRespond(w, bc, proto.StatusOK, h.ID, v)
+		} else if slot := s.coalesceGetMiss(key); slot != nil {
+			// Another fill for this key is in flight: answer from it, out
+			// of order, without stalling the frame loop (the resolving Set
+			// may be queued behind this very frame).
+			go s.binParkRespond(w, bc, h.ID, slot)
 		} else {
 			s.binRespond(w, bc, proto.StatusMiss, h.ID, nil)
 		}
@@ -104,6 +128,7 @@ func (s *Server) dispatchBinary(r *bufio.Reader, w *bufio.Writer, bc *binConn) (
 		} else {
 			stored = s.cache.Set(key, value)
 		}
+		s.noteSet(key, value, stored)
 		if stored {
 			s.binRespond(w, bc, proto.StatusOK, h.ID, nil)
 		} else {
@@ -122,11 +147,55 @@ func (s *Server) dispatchBinary(r *bufio.Reader, w *bufio.Writer, bc *binConn) (
 		// (the remote tier reports false by design).
 		existed := s.cache.Contains(key)
 		s.cache.Delete(key)
+		s.noteDelete(key)
 		if existed {
 			s.binRespond(w, bc, proto.StatusOK, h.ID, nil)
 		} else {
 			s.binRespond(w, bc, proto.StatusMiss, h.ID, nil)
 		}
+
+	case proto.OpGetx:
+		// The TTL field carries the client's grace-window request.
+		key, err := binKey(r, bc, h.KeyLen)
+		if err != nil {
+			return true
+		}
+		s.cmdGetx.Add(1)
+		s.binGetx.Add(1)
+		v, tok, slot, out := s.getxBegin(key, h.TTL)
+		switch out {
+		case getxHit:
+			s.binRespond(w, bc, proto.StatusOK, h.ID, v)
+		case getxStale:
+			s.binRespond(w, bc, proto.StatusStale, h.ID, v)
+		case getxLease:
+			var tb [proto.LeaseTokenLen]byte
+			proto.PutLeaseToken(tb[:], tok)
+			s.binRespond(w, bc, proto.StatusLease, h.ID, tb[:])
+		case getxMiss:
+			s.binRespond(w, bc, proto.StatusMiss, h.ID, nil)
+		case getxPark:
+			go s.binParkRespond(w, bc, h.ID, slot)
+		}
+
+	case proto.OpSetx:
+		// Value bytes are the lease token followed by the payload; header
+		// validation guarantees ValueLen >= LeaseTokenLen, and that a
+		// negative fill (TTL bit 31) carries no payload.
+		key, err := binKey(r, bc, h.KeyLen)
+		if err != nil {
+			return true
+		}
+		value := make([]byte, h.ValueLen)
+		if _, err := io.ReadFull(r, value); err != nil {
+			return true
+		}
+		s.cmdSetx.Add(1)
+		s.binSetx.Add(1)
+		tok, _ := proto.ParseLeaseToken(value)
+		negative := h.TTL&proto.SetxNegativeFlag != 0
+		st := s.setx(key, tok, value[proto.LeaseTokenLen:], h.TTL&^proto.SetxNegativeFlag, negative)
+		s.binRespond(w, bc, st, h.ID, nil)
 
 	case proto.OpStats:
 		var buf bytes.Buffer
@@ -166,11 +235,36 @@ func binKey(r *bufio.Reader, bc *binConn, n int) (string, error) {
 // binRespond appends one response frame to the write buffer. Write
 // errors stick to the bufio.Writer and surface at the next flush.
 func (s *Server) binRespond(w *bufio.Writer, bc *binConn, st proto.Status, id uint32, value []byte) {
+	bc.wmu.Lock()
 	proto.PutResponseHeader(bc.scratch[:], st, id, len(value))
 	w.Write(bc.scratch[:])
 	if len(value) > 0 {
 		w.Write(value)
 	}
+	bc.wmu.Unlock()
+}
+
+// binParkRespond waits out an in-flight fill and answers the parked
+// request from its own goroutine. It must flush itself: the connection
+// goroutine may be blocked reading and will not flush on its behalf.
+// The request id is what lets the client accept this frame out of
+// order.
+func (s *Server) binParkRespond(w *bufio.Writer, bc *binConn, id uint32, slot *fillSlot) {
+	v, out := s.getxFinish(slot)
+	st := proto.StatusMiss
+	if out == getxHit {
+		st = proto.StatusOK
+	} else {
+		v = nil
+	}
+	bc.wmu.Lock()
+	proto.PutResponseHeader(bc.scratch[:], st, id, len(v))
+	w.Write(bc.scratch[:])
+	if len(v) > 0 {
+		w.Write(v)
+	}
+	w.Flush()
+	bc.wmu.Unlock()
 }
 
 // binRespondErr answers a framing error before the connection drops.

@@ -1,0 +1,172 @@
+// The server half of the lease protocol: the shared GETX/SETX decision
+// logic both wire protocols dispatch into. The state machine (DESIGN.md
+// §14) in one picture:
+//
+//	GETX(key, grace)
+//	  fresh value          -> HIT value
+//	  negative tombstone   -> MISS            (backend confirmed absent)
+//	  stale within grace   -> no live lease?  LEASE token   (caller refills)
+//	                          live lease?     STALE value   (holder is refilling)
+//	  miss                 -> no live lease?  LEASE token
+//	                          live lease?     park on the fill, then HIT or MISS
+//	  table overflow       -> MISS / STALE    (degraded, uncoalesced)
+//
+//	SETX(key, token, ...)
+//	  token unknown/stale/raced by Delete -> LEASE_INVALID (store undone)
+//	  value fill  -> STORED / NOT_STORED, waiters answered with the value
+//	  negative    -> STORED, tombstone recorded, waiters answered with MISS
+package server
+
+import (
+	"time"
+
+	"s3fifo/cache"
+	"s3fifo/internal/proto"
+)
+
+// getxOutcome classifies one GETX dispatch.
+type getxOutcome int
+
+const (
+	getxHit   getxOutcome = iota // fresh (or coalesced-fill) value
+	getxStale                    // expired value within the grace window
+	getxLease                    // caller holds the lease; fill and SETX
+	getxMiss                     // nothing usable; do not fill (negative, degraded, or timed out)
+	getxPark                     // internal: follower must wait on the slot
+)
+
+// getxBegin runs everything about a GETX that does not block: cache
+// lookup, lease arbitration, stale serving. A getxPark result hands the
+// caller the slot to wait on — the text path parks inline (the protocol
+// is serial anyway), the binary path parks on a goroutine so the
+// connection's pipeline keeps flowing (notably the same connection's
+// SETX that will resolve the wait).
+func (s *Server) getxBegin(key string, graceSec uint32) (v []byte, token uint64, slot *fillSlot, out getxOutcome) {
+	grace := s.grace
+	if graceSec > 0 {
+		if g := time.Duration(graceSec) * time.Second; g < grace {
+			grace = g
+		}
+	}
+	v, state := s.cache.GetEx(key, grace)
+	switch state {
+	case cache.LookupHit:
+		return v, 0, nil, getxHit
+	case cache.LookupNegative:
+		// Confirmed missing: answer miss with no lease, so a storm on a
+		// nonexistent key costs the backend one probe per tombstone TTL.
+		return nil, 0, nil, getxMiss
+	case cache.LookupStale:
+		if s.co == nil {
+			return v, 0, nil, getxStale
+		}
+		st, leader, ok := s.co.acquire(key)
+		if ok && leader {
+			return nil, st.token, nil, getxLease
+		}
+		// A holder is refilling (or the table overflowed): the stale
+		// value is the whole point — serve it, no waiting.
+		return v, 0, nil, getxStale
+	default: // cache.LookupMiss
+		if s.co == nil {
+			return nil, 0, nil, getxMiss
+		}
+		st, leader, ok := s.co.acquire(key)
+		if !ok {
+			return nil, 0, nil, getxMiss // overflow: degraded, uncoalesced
+		}
+		if leader {
+			return nil, st.token, nil, getxLease
+		}
+		return nil, 0, st, getxPark
+	}
+}
+
+// getxFinish resolves a parked GETX once the in-flight fill completes
+// (or the wait times out), collapsing the outcome to hit or miss.
+func (s *Server) getxFinish(slot *fillSlot) ([]byte, getxOutcome) {
+	if v, ok := s.co.park(slot); ok {
+		return v, getxHit
+	}
+	return nil, getxMiss
+}
+
+// setx applies a lease-redeemed fill and returns the wire status:
+// StatusOK (stored; for a negative fill, tombstoned), StatusNotStored
+// (the cache declined the value), or StatusLeaseInvalid (the token was
+// never valid, expired, was rotated to a newer holder, or a Delete
+// raced the fill — in which case the store has been undone).
+func (s *Server) setx(key string, token uint64, value []byte, ttlSec uint32, negative bool) proto.Status {
+	if s.co == nil {
+		return proto.StatusLeaseInvalid
+	}
+	slot := s.co.redeemBegin(key, token)
+	if slot == nil {
+		return proto.StatusLeaseInvalid
+	}
+	if negative {
+		ttl := s.negTTL
+		if ttlSec > 0 {
+			ttl = time.Duration(ttlSec) * time.Second
+		}
+		s.cache.SetNegative(key, ttl)
+		// Waiters learn the key is confirmed absent: resolved as a miss.
+		if !s.co.redeemEnd(key, slot, nil, false) {
+			// A Delete raced in: its intent (drop everything known about
+			// the key) beats our tombstone.
+			s.cache.Delete(key)
+			return proto.StatusLeaseInvalid
+		}
+		return proto.StatusOK
+	}
+	var stored bool
+	if ttlSec > 0 {
+		stored = s.cache.SetWithTTL(key, value, time.Duration(ttlSec)*time.Second)
+	} else {
+		stored = s.cache.Set(key, value)
+	}
+	if !s.co.redeemEnd(key, slot, value, stored) {
+		// A Delete raced between our store and the redeem: undo, so the
+		// deleted key cannot resurrect through a slow fill. (The undo can
+		// in principle also clobber an unrelated Set that landed in the
+		// same window; DESIGN.md §14 documents why that vanishing window
+		// is accepted — Delete-during-fill already means "drop this key".)
+		s.cache.Delete(key)
+		return proto.StatusLeaseInvalid
+	}
+	if stored {
+		return proto.StatusOK
+	}
+	return proto.StatusNotStored
+}
+
+// coalesceGetMiss is the plain-GET coalescing hook: on a miss with
+// Coalesce enabled, either become the implicit fill leader (answer miss
+// — the client's follow-up Set resolves the slot) or return the slot to
+// park on. A nil slot means answer the miss immediately.
+func (s *Server) coalesceGetMiss(key string) *fillSlot {
+	if s.co == nil || !s.co.coalesce {
+		return nil
+	}
+	slot, leader, ok := s.co.acquire(key)
+	if !ok || leader {
+		return nil
+	}
+	return slot
+}
+
+// noteSet resolves any in-flight fill slot after a plain Set: parked
+// lookups are answered with the freshly stored value (or a miss when
+// the store was declined).
+func (s *Server) noteSet(key string, value []byte, stored bool) {
+	if s.co != nil {
+		s.co.complete(key, value, stored)
+	}
+}
+
+// noteDelete invalidates any in-flight fill slot after a Delete.
+func (s *Server) noteDelete(key string) {
+	if s.co != nil {
+		s.co.invalidate(key)
+	}
+}

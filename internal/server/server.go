@@ -11,6 +11,12 @@
 //	stats                        -> STAT <name> <value> ... END
 //	quit                         -> closes the connection
 //
+// With WithAntiStampede, the lease protocol rides alongside (see
+// lease.go and DESIGN.md §14):
+//
+//	getx <key> [grace_sec]             -> VALUE|STALE <key> <len> ... | LEASE <token> | END
+//	setx <key> <token> <len|neg> [ttl] -> STORED | NOT_STORED | NOT_LEASED
+//
 // A memcached-text dialect rides the same dispatch table so external
 // load generators (memtier, mc-crusher) can drive the server unmodified:
 // "set <key> <flags> <exptime> <bytes> [noreply]", multi-key
@@ -74,6 +80,12 @@ type Server struct {
 	protoMode   string // "" or "auto", "text", "binary" (see WithProtocol)
 	nodeID      string // cluster identity label; "" = unset (see WithNodeID)
 
+	// Anti-stampede machinery (see WithAntiStampede); co is nil when the
+	// option is absent, which disables coalescing and lease grants.
+	co     *coalescer
+	grace  time.Duration // stale-while-revalidate ceiling for GETX
+	negTTL time.Duration // default tombstone TTL for negative SETX fills
+
 	// Protocol-level counters: total connections ever accepted and
 	// dispatched commands by verb (only well-formed commands count).
 	// cmd* counters are totals across both wire protocols; bin* count the
@@ -86,9 +98,13 @@ type Server struct {
 	cmdSet        atomic.Uint64
 	cmdDelete     atomic.Uint64
 	cmdKeys       atomic.Uint64
+	cmdGetx       atomic.Uint64
+	cmdSetx       atomic.Uint64
 	binGet        atomic.Uint64
 	binSet        atomic.Uint64
 	binDelete     atomic.Uint64
+	binGetx       atomic.Uint64
+	binSetx       atomic.Uint64
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -183,6 +199,25 @@ func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
 	reg.CounterFunc("server_binary_connections_total",
 		"Connections that auto-detected the binary protocol.",
 		nil, s.connsBinary.Load)
+	if co := s.co; co != nil {
+		waitHelp := "Lookups parked on an in-flight fill slot, by how the wait resolved."
+		wlbl := func(v string) telemetry.Labels { return telemetry.Labels{{Key: "outcome", Value: v}} }
+		reg.CounterFunc("server_coalesced_waits_total", waitHelp, wlbl("hit"), co.waitHits.Load)
+		reg.CounterFunc("server_coalesced_waits_total", waitHelp, wlbl("miss"), co.waitMisses.Load)
+		reg.CounterFunc("server_coalesced_waits_total", waitHelp, wlbl("timeout"), co.waitTimeouts.Load)
+		leaseHelp := "Lease-protocol events: grants (regrant = replacing an expired lease), redeems, rejects, and delete invalidations."
+		elbl := func(v string) telemetry.Labels { return telemetry.Labels{{Key: "event", Value: v}} }
+		reg.CounterFunc("server_lease_events_total", leaseHelp, elbl("grant"), co.grants.Load)
+		reg.CounterFunc("server_lease_events_total", leaseHelp, elbl("regrant"), co.regrants.Load)
+		reg.CounterFunc("server_lease_events_total", leaseHelp, elbl("redeem"), co.redeems.Load)
+		reg.CounterFunc("server_lease_events_total", leaseHelp, elbl("reject"), co.rejects.Load)
+		reg.CounterFunc("server_lease_events_total", leaseHelp, elbl("invalidate"), co.invalidations.Load)
+		reg.CounterFunc("server_coalesce_overflow_total",
+			"Misses degraded to uncoalesced because the fill table was full.",
+			nil, co.overflows.Load)
+		reg.GaugeFunc("server_coalesce_inflight", "In-flight fill slots.",
+			nil, func() float64 { return float64(co.inflight()) })
+	}
 	// Per-protocol command families: the binary side is counted directly;
 	// the text side is the monotonic difference (cmd* counts both).
 	protoHelp := "Dispatched protocol commands by verb and wire protocol."
@@ -193,6 +228,8 @@ func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
 		{"get", &s.cmdGet, &s.binGet},
 		{"set", &s.cmdSet, &s.binSet},
 		{"delete", &s.cmdDelete, &s.binDelete},
+		{"getx", &s.cmdGetx, &s.binGetx},
+		{"setx", &s.cmdSetx, &s.binSetx},
 	} {
 		f := f
 		reg.CounterFunc("server_proto_commands_total", protoHelp,
@@ -414,7 +451,17 @@ func (s *Server) dispatch(tc *textConn, r *bufio.Reader, w *bufio.Writer, line s
 		}
 		if !tc.memcached {
 			s.cmdGet.Add(1)
-			if v, ok := s.cache.Get(fields[1]); ok {
+			v, ok := s.cache.Get(fields[1])
+			if !ok {
+				// Miss coalescing: if another fill for this key is already
+				// in flight, park for it instead of answering a miss the
+				// client would turn into one more backend fetch. Inline is
+				// fine here — the text protocol is serial per connection.
+				if slot := s.coalesceGetMiss(fields[1]); slot != nil {
+					v, ok = s.co.park(slot)
+				}
+			}
+			if ok {
 				fmt.Fprintf(w, "VALUE %s %d\r\n", fields[1], len(v))
 				w.Write(v)
 				w.WriteString("\r\n")
@@ -480,6 +527,7 @@ func (s *Server) dispatch(tc *textConn, r *bufio.Reader, w *bufio.Writer, line s
 		} else {
 			stored = s.cache.Set(key, value)
 		}
+		s.noteSet(key, value, stored)
 		if stored {
 			w.WriteString("STORED\r\n")
 		} else {
@@ -501,6 +549,7 @@ func (s *Server) dispatch(tc *textConn, r *bufio.Reader, w *bufio.Writer, line s
 		// cannot see (the remote tier reports false by design).
 		existed := s.cache.Contains(fields[1])
 		s.cache.Delete(fields[1])
+		s.noteDelete(fields[1])
 		if noreply {
 			return false, nil
 		}
@@ -508,6 +557,103 @@ func (s *Server) dispatch(tc *textConn, r *bufio.Reader, w *bufio.Writer, line s
 			w.WriteString("DELETED\r\n")
 		} else {
 			w.WriteString("NOT_FOUND\r\n")
+		}
+		return false, nil
+
+	case "getx":
+		// getx <key> [grace_sec]: the lease-protocol lookup. One of:
+		//   VALUE <key> <len>\r\n<bytes>\r\nEND   fresh (or coalesced) hit
+		//   STALE <key> <len>\r\n<bytes>\r\nEND   expired, within grace
+		//   LEASE <token-hex>\r\nEND              caller should fill + setx
+		//   END                                   miss; do not fill
+		if len(fields) != 2 && len(fields) != 3 {
+			return false, protoErr(w, "usage: getx <key> [grace_sec]")
+		}
+		key := fields[1]
+		if len(key) > MaxKeyLen {
+			return false, protoErr(w, "key too long")
+		}
+		var graceSec uint32
+		if len(fields) == 3 {
+			g, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return false, protoErr(w, "bad grace")
+			}
+			graceSec = uint32(g)
+		}
+		s.cmdGetx.Add(1)
+		v, tok, slot, out := s.getxBegin(key, graceSec)
+		if out == getxPark {
+			v, out = s.getxFinish(slot)
+		}
+		switch out {
+		case getxHit:
+			fmt.Fprintf(w, "VALUE %s %d\r\n", key, len(v))
+			w.Write(v)
+			w.WriteString("\r\n")
+		case getxStale:
+			fmt.Fprintf(w, "STALE %s %d\r\n", key, len(v))
+			w.Write(v)
+			w.WriteString("\r\n")
+		case getxLease:
+			fmt.Fprintf(w, "LEASE %016x\r\n", tok)
+		}
+		w.WriteString("END\r\n")
+		return false, nil
+
+	case "setx":
+		// setx <key> <token-hex> <len> [ttl_sec] (+ <len> payload bytes),
+		// or setx <key> <token-hex> neg [ttl_sec] for a negative fill.
+		// Answers STORED, NOT_STORED, or NOT_LEASED.
+		if len(fields) != 4 && len(fields) != 5 {
+			return false, protoErr(w, "usage: setx <key> <token> <len|neg> [ttl]")
+		}
+		key := fields[1]
+		if len(key) > MaxKeyLen {
+			return false, protoErr(w, "key too long")
+		}
+		tok, err := strconv.ParseUint(fields[2], 16, 64)
+		if err != nil {
+			return false, protoErr(w, "bad token")
+		}
+		var ttlSec uint32
+		if len(fields) == 5 {
+			// 31 bits: the wire TTL's top bit is the negative flag, so the
+			// text dialect keeps the same ceiling.
+			t, err := strconv.ParseUint(fields[4], 10, 31)
+			if err != nil {
+				return false, protoErr(w, "bad ttl")
+			}
+			ttlSec = uint32(t)
+		}
+		if fields[3] == "neg" {
+			s.cmdSetx.Add(1)
+			if s.setx(key, tok, nil, ttlSec, true) == proto.StatusOK {
+				w.WriteString("STORED\r\n")
+			} else {
+				w.WriteString("NOT_LEASED\r\n")
+			}
+			return false, nil
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n < 0 || n > MaxValueLen {
+			return false, protoErr(w, "bad length")
+		}
+		value := make([]byte, n)
+		if _, err := io.ReadFull(r, value); err != nil {
+			return true, err // payload truncated: connection unusable
+		}
+		if err := expectCRLF(r); err != nil {
+			return true, err
+		}
+		s.cmdSetx.Add(1)
+		switch s.setx(key, tok, value, ttlSec, false) {
+		case proto.StatusOK:
+			w.WriteString("STORED\r\n")
+		case proto.StatusNotStored:
+			w.WriteString("NOT_STORED\r\n")
+		default:
+			w.WriteString("NOT_LEASED\r\n")
 		}
 		return false, nil
 
@@ -587,6 +733,7 @@ func (s *Server) memcachedSet(r *bufio.Reader, w *bufio.Writer, fields []string)
 	} else {
 		stored = s.cache.Set(key, value)
 	}
+	s.noteSet(key, value, stored)
 	if noreply {
 		return false, nil
 	}
@@ -663,10 +810,29 @@ func (s *Server) writeStats(w io.Writer) {
 	fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.cmdGet.Load())
 	fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.cmdSet.Load())
 	fmt.Fprintf(w, "STAT cmd_delete %d\r\n", s.cmdDelete.Load())
+	fmt.Fprintf(w, "STAT cmd_getx %d\r\n", s.cmdGetx.Load())
+	fmt.Fprintf(w, "STAT cmd_setx %d\r\n", s.cmdSetx.Load())
 	fmt.Fprintf(w, "STAT cmd_get_binary %d\r\n", s.binGet.Load())
 	fmt.Fprintf(w, "STAT cmd_set_binary %d\r\n", s.binSet.Load())
 	fmt.Fprintf(w, "STAT cmd_delete_binary %d\r\n", s.binDelete.Load())
 	fmt.Fprintf(w, "STAT binary_connections %d\r\n", s.connsBinary.Load())
+	fmt.Fprintf(w, "STAT stale_served %d\r\n", st.StaleServed)
+	fmt.Fprintf(w, "STAT negative_hits %d\r\n", st.NegativeHits)
+	fmt.Fprintf(w, "STAT negative_sets %d\r\n", st.NegativeSets)
+	fmt.Fprintf(w, "STAT negative_entries %d\r\n", st.NegativeEntries)
+	if co := s.co; co != nil {
+		fmt.Fprintf(w, "STAT lease_grants %d\r\n", co.grants.Load())
+		fmt.Fprintf(w, "STAT lease_regrants %d\r\n", co.regrants.Load())
+		fmt.Fprintf(w, "STAT lease_redeems %d\r\n", co.redeems.Load())
+		fmt.Fprintf(w, "STAT lease_rejects %d\r\n", co.rejects.Load())
+		fmt.Fprintf(w, "STAT lease_invalidations %d\r\n", co.invalidations.Load())
+		fmt.Fprintf(w, "STAT coalesced_waits %d\r\n", co.waits.Load())
+		fmt.Fprintf(w, "STAT coalesced_wait_hits %d\r\n", co.waitHits.Load())
+		fmt.Fprintf(w, "STAT coalesced_wait_misses %d\r\n", co.waitMisses.Load())
+		fmt.Fprintf(w, "STAT coalesced_wait_timeouts %d\r\n", co.waitTimeouts.Load())
+		fmt.Fprintf(w, "STAT coalesce_overflows %d\r\n", co.overflows.Load())
+		fmt.Fprintf(w, "STAT coalesce_inflight %d\r\n", co.inflight())
+	}
 }
 
 // snapshotAge converts a Stats.SnapshotUnixNano save time into whole
